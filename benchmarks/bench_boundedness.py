@@ -1,0 +1,30 @@
+"""E14 -- boundedness semi-decision via truncation equivalence.
+
+Regenerates the certificates: Example 1.1's Pi_1 is certified bounded
+at depth 2; transitive closure receives no certificate at any depth
+(it is unbounded).
+"""
+
+import pytest
+
+from repro.core.boundedness import bounded_at_depth, decide_boundedness
+from repro.programs import buys_bounded, transitive_closure, widget_certified
+
+
+def test_certify_pi1(benchmark):
+    program = buys_bounded()
+    result = benchmark(lambda: decide_boundedness(program, "buys", max_depth=3))
+    assert result.bounded and result.depth == 2
+
+
+def test_certify_widget(benchmark):
+    program = widget_certified()
+    result = benchmark(lambda: decide_boundedness(program, "ok", max_depth=3))
+    assert result.bounded and result.depth == 2
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_tc_refutation_per_depth(benchmark, depth):
+    program = transitive_closure()
+    verdict = benchmark(lambda: bounded_at_depth(program, "p", depth))
+    assert not verdict

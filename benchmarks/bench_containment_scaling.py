@@ -1,0 +1,72 @@
+"""E6 -- Theorem 5.12: containment of recursive programs in UCQs.
+
+The paper proves a doubly exponential worst case.  This bench measures
+the implementation's actual growth on two controlled families:
+
+* program width: ``chain_program(w)`` adds EDB guards to the recursive
+  rule, growing ``var(Pi)`` and hence the instance space exponentially
+  in the rule width -- the automata sizes recorded in extra_info grow
+  accordingly (the Proposition 5.9 alphabet);
+* union size: containment of transitive closure in its own depth-k
+  truncations (always False -- unboundedness -- but the search space
+  grows with k).
+"""
+
+import pytest
+
+from repro.core.tree_containment import datalog_contained_in_ucq
+from repro.cq.query import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.datalog.parser import parse_atom
+from repro.datalog.unfold import expansion_union
+from repro.programs import chain_program, transitive_closure
+
+
+def covering_union(width: int) -> UnionOfConjunctiveQueries:
+    # 'some g0-edge out of X0' union 'a bare e0 edge' covers every
+    # expansion of chain_program(width).
+    return UnionOfConjunctiveQueries(
+        [
+            ConjunctiveQuery(parse_atom("p(X0, X1)"), (parse_atom("e0(X0, X1)"),)),
+            ConjunctiveQuery(parse_atom("p(X0, X1)"), (parse_atom("g0(X0, Z)"),)),
+        ]
+    )
+
+
+@pytest.mark.parametrize("width", [1, 2])
+def test_containment_vs_program_width(benchmark, width):
+    program = chain_program(width)
+    union = covering_union(width)
+    result = benchmark(lambda: datalog_contained_in_ucq(program, "p", union))
+    assert result.contained
+    benchmark.extra_info.update(result.stats)
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_containment_vs_truncation_depth(benchmark, depth):
+    program = transitive_closure()
+    union = expansion_union(program, "p", depth)
+    result = benchmark(lambda: datalog_contained_in_ucq(program, "p", union))
+    assert not result.contained  # transitive closure is unbounded
+    benchmark.extra_info.update(result.stats)
+    benchmark.extra_info["union_disjuncts"] = len(union)
+
+
+def test_antichain_ablation_on(benchmark):
+    program = transitive_closure()
+    union = expansion_union(program, "p", 3)
+    result = benchmark(
+        lambda: datalog_contained_in_ucq(program, "p", union, use_antichain=True)
+    )
+    assert not result.contained
+    benchmark.extra_info["profiles"] = result.stats["profiles"]
+
+
+def test_antichain_ablation_off(benchmark):
+    program = transitive_closure()
+    union = expansion_union(program, "p", 3)
+    result = benchmark.pedantic(
+        lambda: datalog_contained_in_ucq(program, "p", union, use_antichain=False),
+        rounds=2, iterations=1,
+    )
+    assert not result.contained
+    benchmark.extra_info["profiles"] = result.stats["profiles"]

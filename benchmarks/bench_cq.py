@@ -1,0 +1,57 @@
+"""Substrate bench -- Theorems 2.2/2.3: conjunctive-query containment
+and minimization costs (the NP-complete primitive underlying the easy
+direction of Theorem 6.5)."""
+
+import pytest
+
+from repro.cq.containment import cq_contained_in, ucq_contained_in
+from repro.cq.minimize import minimize
+from repro.cq.query import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.datalog.parser import parse_atom
+
+
+def path_query(length: int, predicate: str = "e") -> ConjunctiveQuery:
+    atoms = tuple(
+        parse_atom(f"{predicate}(Z{i}, Z{i+1})") for i in range(length)
+    )
+    return ConjunctiveQuery(parse_atom(f"q(Z0, Z{length})"), atoms)
+
+
+@pytest.mark.parametrize("length", [4, 8, 16])
+def test_path_containment(benchmark, length):
+    longer = path_query(2 * length)
+    shorter = path_query(length)
+    # A 2k-path's endpoints are NOT a k-path pair (distinguished ends
+    # pin the mapping), so containment fails -- worst case search.
+    verdict = benchmark(lambda: cq_contained_in(longer, shorter))
+    assert not verdict
+
+
+@pytest.mark.parametrize("length", [4, 8])
+def test_boolean_path_containment(benchmark, length):
+    # Boolean variants: a longer walk IS contained in a shorter one.
+    longer = ConjunctiveQuery(parse_atom("q()"), path_query(2 * length).body)
+    shorter = ConjunctiveQuery(parse_atom("q()"), path_query(length).body)
+    verdict = benchmark(lambda: cq_contained_in(longer, shorter))
+    assert verdict
+
+
+@pytest.mark.parametrize("copies", [2, 4])
+def test_minimization(benchmark, copies):
+    # 'copies' disjoint duplicates of a 3-path collapse onto one.
+    atoms = []
+    for c in range(copies):
+        atoms.extend(
+            parse_atom(f"e(A{c}_{i}, A{c}_{i+1})") for i in range(3)
+        )
+    query = ConjunctiveQuery(parse_atom("q()"), tuple(atoms))
+    core = benchmark(lambda: minimize(query))
+    assert len(core.body) == 3
+
+
+def test_ucq_containment(benchmark):
+    paths = [path_query(k) for k in range(1, 6)]
+    small = UnionOfConjunctiveQueries(paths[:3])
+    big = UnionOfConjunctiveQueries(paths)
+    verdict = benchmark(lambda: ucq_contained_in(small, big))
+    assert verdict

@@ -1,0 +1,49 @@
+"""E4 -- evaluation substrate: naive vs semi-naive fixpoints.
+
+Not a paper table (the paper cites [BR86] for evaluation); regenerates
+the standard expectation the machinery relies on: semi-naive beats
+naive on deep recursion, and both compute identical fixpoints
+(Proposition 2.6's ``Q_Pi(D)``).
+"""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.engine import naive_evaluate, seminaive_evaluate
+from repro.programs import plain_transitive_closure
+
+
+def chain_database(length: int) -> Database:
+    db = Database()
+    for i in range(length):
+        db.add("e", (f"v{i}", f"v{i+1}"))
+    return db
+
+
+@pytest.mark.parametrize("length", [16, 32])
+def test_seminaive_tc(benchmark, length):
+    program = plain_transitive_closure()
+    db = chain_database(length)
+    result = benchmark(lambda: seminaive_evaluate(program, db))
+    assert len(result.facts("p")) == length * (length + 1) // 2
+
+
+@pytest.mark.parametrize("length", [16, 32])
+def test_naive_tc(benchmark, length):
+    program = plain_transitive_closure()
+    db = chain_database(length)
+    result = benchmark(lambda: naive_evaluate(program, db))
+    assert len(result.facts("p")) == length * (length + 1) // 2
+
+
+def test_fixpoints_agree(benchmark):
+    program = plain_transitive_closure()
+    db = chain_database(24)
+
+    def both():
+        return naive_evaluate(program, db).facts("p"), seminaive_evaluate(
+            program, db
+        ).facts("p")
+
+    naive_rows, semi_rows = benchmark(both)
+    assert naive_rows == semi_rows

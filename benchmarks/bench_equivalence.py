@@ -1,0 +1,50 @@
+"""E12 -- Theorem 6.5: end-to-end equivalence to nonrecursive programs.
+
+Times the full pipeline (unfold the nonrecursive program, decide the
+easy direction by canonical databases, decide the hard direction by
+proof-tree automata) on a family of bounded recursive programs whose
+rewritings grow with a width parameter.
+"""
+
+import pytest
+
+from repro.core import is_equivalent_to_nonrecursive
+from repro.datalog.parser import parse_program
+
+
+def guarded_program(width: int):
+    """A bounded recursive program with *width* guard atoms (a scaled
+    version of Example 1.1's Pi_1) and its rewriting."""
+    guards = ", ".join(f"g{j}(X)" for j in range(width))
+    recursive = parse_program(
+        f"""
+        buys(X, Y) :- likes(X, Y).
+        buys(X, Y) :- {guards}, buys(Z, Y).
+        """
+    )
+    rewriting = parse_program(
+        f"""
+        buys(X, Y) :- likes(X, Y).
+        buys(X, Y) :- {guards}, likes(Z, Y).
+        """
+    )
+    return recursive, rewriting
+
+
+@pytest.mark.parametrize("width", [1, 2, 3])
+def test_equivalence_vs_width(benchmark, width):
+    recursive, rewriting = guarded_program(width)
+    result = benchmark(
+        lambda: is_equivalent_to_nonrecursive(recursive, rewriting, goal="buys")
+    )
+    assert result.equivalent
+    benchmark.extra_info.update(result.stats)
+
+
+def test_inequivalence_fast_fail(benchmark):
+    recursive, _ = guarded_program(1)
+    wrong = parse_program("buys(X, Y) :- likes(X, Y).")
+    result = benchmark(
+        lambda: is_equivalent_to_nonrecursive(recursive, wrong, goal="buys")
+    )
+    assert not result.equivalent

@@ -1,0 +1,52 @@
+"""E2/E3 -- Figures 1 and 2: tree machinery.
+
+Regenerates the expansion tree / unfolding tree / proof tree trio for
+the transitive-closure program and times construction, connectedness
+analysis, and the Proposition 5.5 renaming.
+"""
+
+from repro.programs import transitive_closure
+from repro.trees.expansion import unfolding_trees
+from repro.trees.proof import (
+    OccurrenceClasses,
+    proof_tree_to_expansion_tree,
+    proof_trees,
+)
+from repro.trees.render import render_figure
+
+
+def test_unfolding_tree_construction(benchmark):
+    program = transitive_closure()
+
+    def build():
+        return [t for t in unfolding_trees(program, "p", 6)]
+
+    trees = benchmark(build)
+    assert len(trees) == 6  # one per height 1..6
+    assert sorted(t.height() for t in trees) == list(range(1, 7))
+
+
+def test_figure_rendering(benchmark):
+    program = transitive_closure()
+    trees = sorted(unfolding_trees(program, "p", 3), key=lambda t: t.height())
+    text = benchmark(
+        lambda: render_figure(trees[2], trees[0], "(a)", "(b)")
+    )
+    assert "p(X0, X1)" in text
+
+
+def test_proof_tree_enumeration_and_renaming(benchmark):
+    program = transitive_closure()
+
+    def run():
+        out = []
+        for tree in proof_trees(program, "p", 2):
+            classes = OccurrenceClasses(tree)
+            renamed = proof_tree_to_expansion_tree(tree)
+            out.append((tree, classes, renamed))
+        return out
+
+    results = benchmark(run)
+    assert len(results) == 252  # 36 height-1 + 216 height-2 trees
+    for tree, _classes, renamed in results[:20]:
+        renamed.validate(program)

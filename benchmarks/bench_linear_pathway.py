@@ -1,0 +1,60 @@
+"""E7 -- Theorem 5.12, EXPSPACE case: the word-automaton pathway for
+linear (chain-form) programs vs the general tree pathway.
+
+Paper claim: linear programs admit a cheaper (word-automata, PSPACE in
+the automata) decision.  Both pathways must agree on every verdict;
+the word pathway is expected to win on linear inputs.
+"""
+
+import pytest
+
+from repro.core.tree_containment import datalog_contained_in_ucq
+from repro.core.word_path import datalog_contained_in_ucq_linear
+from repro.cq.query import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.datalog.parser import parse_atom
+from repro.datalog.unfold import expansion_union
+from repro.programs import buys_bounded, transitive_closure
+
+
+def _union_for_tc():
+    return expansion_union(transitive_closure(), "p", 3)
+
+
+def _covering_union():
+    return UnionOfConjunctiveQueries(
+        [ConjunctiveQuery(parse_atom("buys(X0, X1)"), (parse_atom("likes(Z, X1)"),))]
+    )
+
+
+def test_word_pathway_negative(benchmark):
+    program = transitive_closure()
+    union = _union_for_tc()
+    result = benchmark(
+        lambda: datalog_contained_in_ucq_linear(program, "p", union)
+    )
+    assert not result.contained
+
+
+def test_tree_pathway_negative(benchmark):
+    program = transitive_closure()
+    union = _union_for_tc()
+    result = benchmark(lambda: datalog_contained_in_ucq(program, "p", union))
+    assert not result.contained
+
+
+def test_word_pathway_positive(benchmark):
+    program = buys_bounded()
+    union = _covering_union()
+    result = benchmark(
+        lambda: datalog_contained_in_ucq_linear(program, "buys", union)
+    )
+    assert result.contained
+
+
+def test_tree_pathway_positive(benchmark):
+    program = buys_bounded()
+    union = _covering_union()
+    result = benchmark(
+        lambda: datalog_contained_in_ucq(program, "buys", union)
+    )
+    assert result.contained

@@ -1,0 +1,59 @@
+"""E9/E10/E11 -- Examples 6.1, 6.2, 6.3, 6.6: the succinctness of
+nonrecursive programs, measured.
+
+Paper claims regenerated here:
+
+* dist_n (Example 6.1) unfolds to a single conjunctive query with
+  exactly 2^n atoms, and that query is already minimal (its core has
+  2^n atoms) -- "the smallest conjunctive query equivalent to dist_n
+  is of exponential size";
+* word_n (Example 6.6) unfolds to exactly 2^n disjuncts, each of size
+  O(n);
+* equal_n (Example 6.3) unfolds to 2^(2^n)-shaped unions (measured for
+  tiny n).
+"""
+
+import pytest
+
+from repro.cq.minimize import minimize
+from repro.datalog.unfold import unfold_nonrecursive
+from repro.programs import dist, equal, word
+
+
+@pytest.mark.parametrize("n", [2, 4, 6])
+def test_dist_unfolding_blowup(benchmark, n):
+    program = dist(n)
+    union = benchmark(lambda: unfold_nonrecursive(program, f"dist{n}"))
+    assert len(union) == 1
+    assert len(union.disjuncts[0].body) == 2 ** n
+    benchmark.extra_info["program_size"] = program.size()
+    benchmark.extra_info["cq_atoms"] = 2 ** n
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_dist_core_is_exponential(benchmark, n):
+    # The paper's point: no smaller CQ is equivalent.  The core of the
+    # unfolding keeps all 2^n atoms (a path query is its own core).
+    union = unfold_nonrecursive(dist(n), f"dist{n}")
+    query = union.disjuncts[0]
+    core = benchmark.pedantic(lambda: minimize(query), rounds=2, iterations=1)
+    assert len(core.body) == 2 ** n
+
+
+@pytest.mark.parametrize("n", [2, 4, 6])
+def test_word_unfolding_many_small_disjuncts(benchmark, n):
+    program = word(n)
+    union = benchmark(lambda: unfold_nonrecursive(program, f"word{n}"))
+    assert len(union) == 2 ** n
+    assert max(len(q.body) for q in union) <= 2 * n
+    benchmark.extra_info["disjuncts"] = len(union)
+    benchmark.extra_info["largest_cq"] = max(len(q.body) for q in union)
+
+
+@pytest.mark.parametrize("n", [1, 2])
+def test_equal_unfolding(benchmark, n):
+    program = equal(n)
+    union = benchmark(lambda: unfold_nonrecursive(program, f"equal{n}"))
+    # 2^(2^n) label patterns.
+    assert len(union) == 2 ** (2 ** n)
+    benchmark.extra_info["disjuncts"] = len(union)

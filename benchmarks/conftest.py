@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+Each benchmark file regenerates one experiment of EXPERIMENTS.md.  The
+benchmarks assert the *shape* of the paper's claims (who wins, growth
+rates, crossover locations) and record measured series in
+``benchmark.extra_info`` so the numbers land in the saved JSON.
+"""
+
+import pytest
+
+
+def series_info(benchmark, **series):
+    """Attach measured series to the benchmark record (visible with
+    --benchmark-verbose / in the JSON output)."""
+    for key, value in series.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,83 @@
+"""Reproduce Figures 1 and 2 of the paper: expansion trees, unfolding
+expansion trees, and proof trees for the transitive-closure program of
+Example 2.5.
+
+Run:  python examples/figures_1_and_2.py
+"""
+
+from repro.datalog.atoms import Atom
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Variable
+from repro.programs import transitive_closure
+from repro.trees.expansion import ExpansionTree, unfolding_trees
+from repro.trees.proof import OccurrenceClasses, proof_tree_to_expansion_tree
+from repro.trees.render import render_figure, render_tree
+
+
+def figure_1():
+    """Expansion tree vs unfolding expansion tree (variable reuse)."""
+    program = transitive_closure()
+    x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+
+    # Figure 1(a): an expansion tree reusing X in the child.
+    root_rule = Rule(Atom("p", (x, y)), (Atom("e", (x, z)), Atom("p", (z, y))))
+    child_rule = Rule(Atom("p", (z, y)), (Atom("e0", (z, x)),))
+    reusing = ExpansionTree(
+        root_rule.head, root_rule,
+        (ExpansionTree(child_rule.head, child_rule),),
+    )
+
+    # Figure 1(b): the unfolding expansion tree uses a fresh W instead.
+    unfolding = next(
+        t for t in unfolding_trees(program, "p", 2) if t.height() == 2
+    )
+    print(render_figure(reusing, unfolding,
+                        "(a) expansion tree", "(b) unfolding expansion tree"))
+
+
+def figure_2():
+    """Unfolding expansion tree vs proof tree (Figure 2, Example 5.1).
+
+    The proof tree reuses X (a variable of var(Pi)) where the unfolding
+    tree takes a fresh W; connectedness (Definition 5.2) recovers the
+    distinction.
+    """
+    program = transitive_closure()
+    pv = [Variable(f"_pv{i}") for i in range(3)]
+    x, y, z = pv[0], pv[1], pv[2]
+
+    root = Rule(Atom("p", (x, y)), (Atom("e", (x, z)), Atom("p", (z, y))))
+    interior = Rule(Atom("p", (z, y)), (Atom("e", (z, x)), Atom("p", (x, y))))
+    leaf = Rule(Atom("p", (x, y)), (Atom("e0", (x, y)),))
+    proof_tree = ExpansionTree(
+        root.head, root,
+        (ExpansionTree(interior.head, interior,
+                       (ExpansionTree(leaf.head, leaf),)),),
+    )
+    unfolding = next(
+        t for t in unfolding_trees(program, "p", 3) if t.height() == 3
+    )
+    print(render_figure(unfolding, proof_tree,
+                        "(a) unfolding expansion tree", "(b) proof tree"))
+
+    print("\nExample 5.3 -- connectedness in the proof tree:")
+    classes = OccurrenceClasses(proof_tree)
+    print("  root Y ~ interior Y:", classes.connected(((), y), ((0,), y)))
+    print("  root X ~ leaf X:   ", classes.connected(((), x), ((0, 0), x)))
+    print("  leaf X distinguished:", classes.is_distinguished((0, 0), x))
+    print("  root X distinguished:", classes.is_distinguished((), x))
+
+    print("\nProposition 5.5 renaming (proof tree -> expansion tree):")
+    print(render_tree(proof_tree_to_expansion_tree(proof_tree)))
+
+
+if __name__ == "__main__":
+    print("=" * 72)
+    print("Figure 1")
+    print("=" * 72)
+    figure_1()
+    print()
+    print("=" * 72)
+    print("Figure 2")
+    print("=" * 72)
+    figure_2()

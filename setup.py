@@ -1,0 +1,15 @@
+"""Legacy setup shim for offline editable installs (see pyproject.toml)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Chaudhuri & Vardi, 'On the Equivalence of Recursive "
+        "and Nonrecursive Datalog Programs' (PODS 1992 / JCSS 1997)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

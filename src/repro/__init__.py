@@ -1,0 +1,98 @@
+"""repro: reproduction of Chaudhuri & Vardi,
+"On the Equivalence of Recursive and Nonrecursive Datalog Programs"
+(PODS 1992; JCSS 54(1):61-78, 1997).
+
+The package decides containment of recursive Datalog programs in
+unions of conjunctive queries (Theorem 5.12) and equivalence of
+recursive programs to nonrecursive programs (Theorem 6.5), using the
+paper's proof-tree / tree-automaton machinery, and ships the paper's
+lower-bound constructions as executable generators.
+
+Quickstart::
+
+    from repro import parse_program, is_equivalent_to_nonrecursive
+
+    recursive = parse_program('''
+        buys(X, Y) :- likes(X, Y).
+        buys(X, Y) :- trendy(X), buys(Z, Y).
+    ''')
+    nonrecursive = parse_program('''
+        buys(X, Y) :- likes(X, Y).
+        buys(X, Y) :- trendy(X), likes(Z, Y).
+    ''')
+    assert is_equivalent_to_nonrecursive(recursive, nonrecursive, goal="buys")
+"""
+
+from .datalog import (
+    Atom,
+    Constant,
+    Database,
+    Program,
+    Rule,
+    Variable,
+    evaluate,
+    is_linear,
+    is_nonrecursive,
+    is_recursive,
+    make_atom,
+    parse_atom,
+    parse_program,
+    parse_rule,
+    query,
+    unfold_nonrecursive,
+)
+from .cq import (
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    cq_contained_in,
+    cq_equivalent,
+    evaluate_cq,
+    minimize,
+    ucq_contained_in,
+)
+from .core import (
+    contained_in_cq,
+    contained_in_nonrecursive,
+    contained_in_ucq,
+    cq_contained_in_datalog,
+    decide_boundedness,
+    is_equivalent_to_nonrecursive,
+    nonrecursive_contained_in_datalog,
+    ucq_contained_in_datalog,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Constant",
+    "Database",
+    "Program",
+    "Rule",
+    "UnionOfConjunctiveQueries",
+    "Variable",
+    "contained_in_cq",
+    "contained_in_nonrecursive",
+    "contained_in_ucq",
+    "cq_contained_in",
+    "cq_contained_in_datalog",
+    "cq_equivalent",
+    "decide_boundedness",
+    "evaluate",
+    "evaluate_cq",
+    "is_equivalent_to_nonrecursive",
+    "is_linear",
+    "is_nonrecursive",
+    "is_recursive",
+    "make_atom",
+    "minimize",
+    "nonrecursive_contained_in_datalog",
+    "parse_atom",
+    "parse_program",
+    "parse_rule",
+    "query",
+    "ucq_contained_in",
+    "ucq_contained_in_datalog",
+    "unfold_nonrecursive",
+]

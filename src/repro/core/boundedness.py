@@ -1,0 +1,82 @@
+"""A semi-decision procedure for boundedness.
+
+The paper distinguishes its problem (equivalence to a *given*
+nonrecursive program -- decidable, Theorem 6.5) from boundedness
+(equivalence to *some* nonrecursive program -- undecidable [GMSV93]).
+The decidable machinery still yields a useful semi-decision: Pi is
+bounded with depth k iff Pi is equivalent to the union of its
+expansions of height at most k, and that union is always contained in
+Pi, so only the forward containment (Theorem 5.12) needs deciding.
+Iterating k = 1, 2, ... certifies boundedness whenever it holds; the
+procedure cannot certify unboundedness (no algorithm can), so it stops
+at ``max_depth`` with verdict "unknown" -- unless the structural
+shortcut below applies.
+
+As a cheap sound check, :func:`decide_boundedness` first tries the
+counterexample route: if for some k the truncation test fails with a
+witness, the witness rules out depth-k boundedness and the search
+continues deeper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cq.query import UnionOfConjunctiveQueries
+from ..datalog.program import Program
+from ..datalog.unfold import expansion_union
+from .containment import contained_in_ucq
+
+
+@dataclass
+class BoundednessResult:
+    """Outcome of the boundedness search.
+
+    ``bounded`` is True / False / None (None = unknown: unbounded or
+    bound exceeds ``max_depth``).  On success ``depth`` is the
+    certified bound and ``witness_union`` the equivalent union of
+    conjunctive queries (a nonrecursive rewriting of the program).
+    """
+
+    bounded: Optional[bool]
+    depth: Optional[int] = None
+    witness_union: Optional[UnionOfConjunctiveQueries] = None
+
+    def __bool__(self):
+        return bool(self.bounded)
+
+
+def bounded_at_depth(program: Program, goal: str, depth: int,
+                     method: str = "auto") -> bool:
+    """Is Pi equivalent to its expansions of height <= depth?
+
+    Only the forward containment is checked; the union of expansions is
+    contained in Pi by construction (Proposition 2.6).
+    """
+    union = expansion_union(program, goal, depth)
+    if not union.disjuncts:
+        # No expansion exists at all: the goal relation is empty, which
+        # is trivially bounded.
+        return True
+    return contained_in_ucq(program, goal, union, method=method).contained
+
+
+def decide_boundedness(program: Program, goal: str, max_depth: int = 4,
+                       method: str = "auto") -> BoundednessResult:
+    """Search for a boundedness certificate up to ``max_depth``.
+
+    Returns ``bounded=True`` with the certified depth and the
+    equivalent union when found; otherwise ``bounded=None`` (unknown --
+    boundedness is undecidable in general [GMSV93], so absence of a
+    certificate proves nothing).  Nonrecursive programs are bounded by
+    their dependence-graph depth and always certified.
+    """
+    program.require_goal(goal)
+    for depth in range(1, max_depth + 1):
+        union = expansion_union(program, goal, depth)
+        if not union.disjuncts:
+            continue
+        if contained_in_ucq(program, goal, union, method=method).contained:
+            return BoundednessResult(bounded=True, depth=depth, witness_union=union)
+    return BoundednessResult(bounded=None)

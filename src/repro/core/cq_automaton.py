@@ -1,0 +1,263 @@
+"""The query automaton ``A^theta(Q, Pi)`` of Proposition 5.10.
+
+``A^theta`` runs on proof trees and accepts exactly those admitting a
+strong containment mapping from the conjunctive query theta
+(Definition 5.4).  A state is a triple
+
+    (goal atom, beta, M)
+
+where *beta* is the set of theta-atoms not yet mapped into the tree and
+*M* is a partial mapping from theta's variables into the term space
+recording the images committed so far.  Reading a node label
+``(alpha, rho)``:
+
+1. some subset beta' of beta is mapped into the EDB atoms of rho's
+   body, consistently with M (producing M1 = M + images);
+2. the remaining atoms are partitioned among the node's IDB children,
+   subject to the paper's side conditions: a variable of an unmapped
+   atom that is already in the domain of the mapping must have its
+   image among the arguments of every child atom it is sent through
+   (condition 4), and two children may share a variable only when the
+   variable is mapped and its image occurs in both child atoms
+   (condition 3) -- which forces the automaton to *guess* images for
+   unmapped variables split across children;
+3. a leaf label requires beta to be mapped away entirely.
+
+The state space is exponential in |Pi| + |theta|; the class is lazy and
+only materializes states reachable during the containment search.
+
+Implementation note (documented in DESIGN.md): the mapping component is
+restricted to variables still occurring in unmapped atoms.  Transitions
+consult M only on such variables, so the restriction merges states with
+identical future behaviour and preserves the recognized tree language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..cq.query import ConjunctiveQuery
+from ..datalog.atoms import Atom
+from ..datalog.errors import ValidationError
+from ..datalog.program import Program
+from ..datalog.terms import Term, Variable, is_variable
+from .instances import Label
+
+MappingItems = FrozenSet[Tuple[Variable, Term]]
+
+
+@dataclass(frozen=True)
+class CQState:
+    """A state ``(goal atom, unmapped theta-atoms, partial mapping)``.
+
+    ``beta`` holds indices into the query's body (index-based so that
+    repeated atoms in theta are tracked as distinct obligations);
+    ``mapping`` is a frozen set of (variable, image) pairs.
+    """
+
+    atom: Atom
+    beta: FrozenSet[int]
+    mapping: MappingItems
+
+    def mapping_dict(self) -> Dict[Variable, Term]:
+        return dict(self.mapping)
+
+
+class CQAutomaton:
+    """Lazy ``A^theta(Q, Pi)`` for one conjunctive query theta."""
+
+    def __init__(self, program: Program, goal: str, theta: ConjunctiveQuery):
+        program.require_goal(goal)
+        for atom in theta.body:
+            if atom.predicate in program.idb_predicates:
+                raise ValidationError(
+                    f"containment query atom {atom} uses IDB predicate "
+                    f"{atom.predicate!r}; queries must be over EDB predicates"
+                )
+        if theta.arity != program.arity[goal]:
+            raise ValidationError(
+                f"query arity {theta.arity} differs from goal arity "
+                f"{program.arity[goal]}"
+            )
+        self.program = program
+        self.goal = goal
+        self.theta = theta
+        self._atoms: Tuple[Atom, ...] = tuple(theta.body)
+        self._atom_vars: Tuple[FrozenSet[Variable], ...] = tuple(
+            atom.variable_set() for atom in self._atoms
+        )
+
+    # ------------------------------------------------------------------
+    # Start states (one per proof-tree root atom).
+    # ------------------------------------------------------------------
+
+    def initial_state(self, root_atom: Atom) -> Optional[CQState]:
+        """The start state ``(Q(s), theta, M_theta_s)`` for one root
+        atom, or None when theta's head cannot map onto it (repeated
+        head variables or head constants that the root atom does not
+        realize)."""
+        head = self.theta.head
+        if head.arity != root_atom.arity:
+            return None
+        seed: Dict[Variable, Term] = {}
+        for term, target in zip(head.args, root_atom.args):
+            if is_variable(term):
+                known = seed.get(term)
+                if known is None:
+                    seed[term] = target
+                elif known != target:
+                    return None
+            elif term != target:
+                return None
+        beta = frozenset(range(len(self._atoms)))
+        return CQState(root_atom, beta, self._restrict(seed, beta))
+
+    def _restrict(self, mapping: Dict[Variable, Term], beta: FrozenSet[int]) -> MappingItems:
+        """Keep only images of variables still occurring in beta."""
+        live: Set[Variable] = set()
+        for index in beta:
+            live.update(self._atom_vars[index])
+        return frozenset((v, t) for v, t in mapping.items() if v in live)
+
+    # ------------------------------------------------------------------
+    # Transitions.
+    # ------------------------------------------------------------------
+
+    def _map_atom_options(self, index: int, label: Label,
+                          mapping: Dict[Variable, Term]) -> Iterator[Dict[Variable, Term]]:
+        """Ways to map theta-atom *index* into the EDB atoms of the
+        label, each yielding the extended mapping."""
+        atom = self._atoms[index]
+        for target in label.edb_atoms:
+            if target.predicate != atom.predicate or target.arity != atom.arity:
+                continue
+            extended = dict(mapping)
+            ok = True
+            for term, image in zip(atom.args, target.args):
+                if is_variable(term):
+                    known = extended.get(term)
+                    if known is None:
+                        extended[term] = image
+                    elif known != image:
+                        ok = False
+                        break
+                elif term != image:
+                    ok = False
+                    break
+            if ok:
+                yield extended
+
+    def _partitions(self, beta: Sequence[int], label: Label,
+                    mapping: Dict[Variable, Term]) -> Iterator[Tuple[FrozenSet[int], Dict[Variable, Term]]]:
+        """Enumerate (remaining atoms, M1) after mapping a subset of
+        beta into the label's EDB atoms (step 1 of the transition)."""
+        beta = sorted(beta)
+
+        def walk(position: int, current: Dict[Variable, Term],
+                 deferred: List[int]) -> Iterator[Tuple[FrozenSet[int], Dict[Variable, Term]]]:
+            if position == len(beta):
+                yield frozenset(deferred), current
+                return
+            index = beta[position]
+            # Option 1: defer the atom to the children.
+            yield from walk(position + 1, current, deferred + [index])
+            # Option 2: map it into this node's EDB atoms now.
+            for extended in self._map_atom_options(index, label, current):
+                yield from walk(position + 1, extended, deferred)
+
+        yield from walk(0, dict(mapping), [])
+
+    def successors(self, state: CQState, label: Label) -> Iterator[Tuple[CQState, ...]]:
+        """All transition tuples of child states on *label*.
+
+        For a leaf label the only possible result is the empty tuple
+        (acceptance); for an internal label each tuple has one state
+        per IDB child atom.  Duplicates are suppressed.
+        """
+        if state.atom != label.atom:
+            return
+        seen: Set[Tuple[CQState, ...]] = set()
+        children = label.idb_atoms
+        child_arg_sets = [frozenset(child.args) for child in children]
+        for rest, mapping1 in self._partitions(state.beta, label, state.mapping_dict()):
+            if label.is_leaf():
+                if not rest:
+                    if () not in seen:
+                        seen.add(())
+                        yield ()
+                continue
+            rest_list = sorted(rest)
+            for assignment in product(range(len(children)), repeat=len(rest_list)):
+                placement: Dict[int, int] = dict(zip(rest_list, assignment))
+                guesses = self._required_guesses(
+                    placement, mapping1, child_arg_sets
+                )
+                if guesses is None:
+                    continue
+                for guess_values in product(*[cands for _, cands in guesses]):
+                    mapping_final = dict(mapping1)
+                    mapping_final.update(
+                        (variable, value)
+                        for (variable, _), value in zip(guesses, guess_values)
+                    )
+                    tuple_ = self._child_states(children, placement, mapping_final)
+                    if tuple_ not in seen:
+                        seen.add(tuple_)
+                        yield tuple_
+
+    def _required_guesses(self, placement: Dict[int, int],
+                          mapping1: Dict[Variable, Term],
+                          child_arg_sets: List[FrozenSet[Term]]):
+        """Check conditions 3/4 for an atom->child assignment.
+
+        Returns a list of ``(variable, candidate images)`` for unmapped
+        variables spanning several children (ordered deterministically),
+        or None when the assignment is infeasible.
+        """
+        spans: Dict[Variable, Set[int]] = {}
+        for index, child in placement.items():
+            for variable in self._atom_vars[index]:
+                spans.setdefault(variable, set()).add(child)
+        guesses: List[Tuple[Variable, Tuple[Term, ...]]] = []
+        for variable in sorted(spans, key=lambda v: v.name):
+            children_of = spans[variable]
+            image = mapping1.get(variable)
+            if image is not None:
+                # Condition 4: the committed image must flow through
+                # every child atom the variable is sent into.
+                if any(image not in child_arg_sets[j] for j in children_of):
+                    return None
+            elif len(children_of) > 1:
+                # Condition 3: an unmapped variable split across
+                # children must be given an image lying in all of them.
+                candidates: Set[Term] = set.intersection(
+                    *[set(child_arg_sets[j]) for j in children_of]
+                )
+                if not candidates:
+                    return None
+                guesses.append(
+                    (variable, tuple(sorted(candidates, key=repr)))
+                )
+        return guesses
+
+    def _child_states(self, children: Tuple[Atom, ...],
+                      placement: Dict[int, int],
+                      mapping_final: Dict[Variable, Term]) -> Tuple[CQState, ...]:
+        per_child: List[Set[int]] = [set() for _ in children]
+        for index, child in placement.items():
+            per_child[child].add(index)
+        states: List[CQState] = []
+        for child_atom, beta in zip(children, per_child):
+            beta_frozen = frozenset(beta)
+            states.append(
+                CQState(child_atom, beta_frozen, self._restrict(mapping_final, beta_frozen))
+            )
+        return tuple(states)
+
+    def accepts_leaf(self, state: CQState, label: Label) -> bool:
+        """Leaf acceptance: beta maps away entirely into the label."""
+        if not label.is_leaf():
+            return False
+        return any(True for _ in self.successors(state, label))

@@ -1,0 +1,112 @@
+"""Enumeration of rule instances over the proof-tree term space.
+
+A proof-tree node is labeled ``(alpha, rho)`` where rho is an instance
+of a program rule over ``var(Pi)`` (plus the program's constants,
+Remark 5.14).  Both the proof-tree automaton (Proposition 5.9) and the
+query automaton (Proposition 5.10) read these labels; this module
+provides the shared, cached enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from itertools import product
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.program import Program
+from ..datalog.rules import Rule
+from ..datalog.terms import Variable, is_variable
+from ..datalog.unify import apply_to_atom, apply_to_atoms, resolve, unify_tuples
+from ..trees.proof import term_space
+
+
+@dataclass(frozen=True)
+class Label:
+    """A proof-tree node label ``(alpha, rho)`` -- one alphabet symbol.
+
+    ``idb_atoms`` are the IDB atoms of rho's body in order (the child
+    goals); an empty tuple makes this a leaf symbol.
+    """
+
+    atom: Atom
+    rule: Rule
+    idb_atoms: Tuple[Atom, ...]
+    edb_atoms: Tuple[Atom, ...]
+
+    def is_leaf(self) -> bool:
+        return not self.idb_atoms
+
+    def __str__(self):
+        return f"({self.atom} | {self.rule})"
+
+
+class InstanceEnumerator:
+    """Enumerates (and caches) rule instances for a fixed program.
+
+    ``labels_for(atom)`` yields every label whose goal is exactly
+    *atom* -- all ways a proof-tree node with that goal can be expanded.
+    The count per rule is ``|term_space|^(#variables not bound by the
+    head unification)``, i.e. exponential in the rule width but
+    enumerated lazily and cached per goal atom.
+    """
+
+    def __init__(self, program: Program):
+        self._program = program
+        self._space = term_space(program)
+        self._idb = program.idb_predicates
+        self._cache: Dict[Atom, Tuple[Label, ...]] = {}
+
+    @property
+    def program(self) -> Program:
+        return self._program
+
+    @property
+    def space(self) -> Tuple:
+        return self._space
+
+    def labels_for(self, atom: Atom) -> Tuple[Label, ...]:
+        """All labels ``(atom, rho)`` with head(rho) == atom."""
+        cached = self._cache.get(atom)
+        if cached is not None:
+            return cached
+        labels: List[Label] = []
+        for rule in self._program.rules_for(atom.predicate):
+            labels.extend(self._instances(rule, atom))
+        result = tuple(labels)
+        self._cache[atom] = result
+        return result
+
+    def _instances(self, rule: Rule, head_atom: Atom) -> Iterator[Label]:
+        seed = unify_tuples(rule.head.args, head_atom.args, {})
+        if seed is None:
+            return
+        free = sorted(
+            (v for v in rule.variables() if resolve(v, seed) == v),
+            key=lambda v: v.name,
+        )
+        for values in product(self._space, repeat=len(free)):
+            subst = dict(seed)
+            subst.update(zip(free, values))
+            head = apply_to_atom(rule.head, subst)
+            if head != head_atom:
+                # The head unification bound a term-space variable (the
+                # rule head repeats variables or carries constants);
+                # this instantiation cannot label a node with this goal.
+                continue
+            body = apply_to_atoms(rule.body, subst)
+            instance = Rule(head, body)
+            yield Label(
+                atom=head,
+                rule=instance,
+                idb_atoms=instance.idb_body_atoms(self._idb),
+                edb_atoms=instance.edb_body_atoms(self._idb),
+            )
+
+    def count_labels(self, goal: str) -> int:
+        """Total number of labels across all goal atoms of *goal*
+        (the alphabet size of Proposition 5.9 for that predicate)."""
+        from ..trees.proof import root_atoms
+
+        return sum(len(self.labels_for(atom)) for atom in root_atoms(self._program, goal))

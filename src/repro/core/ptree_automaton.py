@@ -1,0 +1,147 @@
+"""The proof-tree automaton ``A^ptrees(Q, Pi)`` of Proposition 5.9.
+
+Its tree language is exactly ``ptrees(Q, Pi)``: states are IDB atoms
+over the term space, the start states are the goal atoms ``Q(s)``, the
+alphabet is the set of node labels ``(alpha, rho)``, and
+``delta(R(t), (R(t), rho))`` contains the tuple of IDB atoms of rho's
+body (the empty tuple when rho's body is all-EDB, which is the
+normalized form of the paper's ``accept`` state).
+
+Both a materialized :class:`~repro.automata.tree.TreeAutomaton` (for
+cross-checks against the generic substrate) and a lazy view used by the
+containment fixpoint are provided.  The automaton's size is exponential
+in the size of Pi, as stated by the proposition; ``size_estimate``
+reports it without materializing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..automata.tree import LabeledTree, TreeAutomaton
+from ..datalog.atoms import Atom
+from ..datalog.program import Program
+from ..datalog.rules import Rule
+from ..trees.expansion import ExpansionTree
+from ..trees.proof import root_atoms, term_space
+from .instances import InstanceEnumerator, Label
+
+
+def proof_tree_to_labeled_tree(tree: ExpansionTree, program: Program) -> LabeledTree:
+    """Encode a proof tree as a Sigma-labeled tree over node labels."""
+    idb = program.idb_predicates
+    label = Label(
+        atom=tree.atom,
+        rule=tree.rule,
+        idb_atoms=tree.rule.idb_body_atoms(idb),
+        edb_atoms=tree.rule.edb_body_atoms(idb),
+    )
+    return LabeledTree(label, tuple(
+        proof_tree_to_labeled_tree(child, program) for child in tree.children
+    ))
+
+
+def labeled_tree_to_proof_tree(tree: LabeledTree) -> ExpansionTree:
+    """Decode a Sigma-labeled tree back into an expansion tree."""
+    label = tree.label
+    return ExpansionTree(
+        label.atom,
+        label.rule,
+        tuple(labeled_tree_to_proof_tree(child) for child in tree.children),
+    )
+
+
+class PTreeAutomaton:
+    """Lazy view of ``A^ptrees(Q, Pi)`` used by the containment search.
+
+    ``transitions()`` enumerates, bottom-up-style, every transition
+    ``goal --(label)--> (child goals)``: one per rule instance.  The
+    states never need materializing; a goal atom is a state.
+    """
+
+    def __init__(self, program: Program, goal: str):
+        program.require_goal(goal)
+        self.program = program
+        self.goal = goal
+        self.enumerator = InstanceEnumerator(program)
+        self._reachable_goals: Tuple[Atom, ...] = ()
+
+    def initial_atoms(self) -> Iterator[Atom]:
+        """The start states: all goal atoms over the term space."""
+        yield from root_atoms(self.program, self.goal)
+
+    def reachable_goal_atoms(self) -> Tuple[Atom, ...]:
+        """All IDB atoms reachable top-down from some start state.
+
+        This is the live state space of the automaton; the containment
+        fixpoint iterates over transitions out of exactly these atoms.
+        """
+        if self._reachable_goals:
+            return self._reachable_goals
+        seen: Set[Atom] = set()
+        frontier: List[Atom] = []
+        for atom in self.initial_atoms():
+            if atom not in seen:
+                seen.add(atom)
+                frontier.append(atom)
+        while frontier:
+            atom = frontier.pop()
+            for label in self.enumerator.labels_for(atom):
+                for child in label.idb_atoms:
+                    if child not in seen:
+                        seen.add(child)
+                        frontier.append(child)
+        self._reachable_goals = tuple(sorted(seen, key=str))
+        return self._reachable_goals
+
+    def transitions(self) -> Iterator[Tuple[Atom, Label, Tuple[Atom, ...]]]:
+        """Every transition of the live automaton."""
+        for atom in self.reachable_goal_atoms():
+            for label in self.enumerator.labels_for(atom):
+                yield atom, label, label.idb_atoms
+
+    def size_estimate(self) -> Dict[str, int]:
+        """(states, alphabet symbols, transitions) of the live automaton."""
+        states = len(self.reachable_goal_atoms())
+        symbols = sum(
+            len(self.enumerator.labels_for(atom)) for atom in self.reachable_goal_atoms()
+        )
+        return {"states": states, "symbols": symbols, "transitions": symbols}
+
+    def materialize(self) -> TreeAutomaton:
+        """The explicit :class:`TreeAutomaton` of Proposition 5.9.
+
+        Exponential in the program size; used for differential tests
+        against the generic automata substrate on small programs.
+        """
+        alphabet: Set[Label] = set()
+        states: Set[Atom] = set(self.reachable_goal_atoms())
+        transitions: List[Tuple[Atom, Label, Tuple[Atom, ...]]] = []
+        for atom, label, children in self.transitions():
+            alphabet.add(label)
+            transitions.append((atom, label, children))
+        return TreeAutomaton.build(
+            alphabet=alphabet,
+            states=states,
+            initial=set(self.initial_atoms()) & states,
+            transitions=transitions,
+        )
+
+    def accepts_proof_tree(self, tree: ExpansionTree) -> bool:
+        """Membership test: is *tree* in ptrees(Q, Pi)?"""
+        if tree.atom.predicate != self.goal:
+            return False
+        allowed = set(term_space(self.program))
+
+        def check(node: ExpansionTree) -> bool:
+            for term in node.rule.variables():
+                if term not in allowed:
+                    return False
+            for label in self.enumerator.labels_for(node.atom):
+                if label.rule == node.rule:
+                    children_atoms = tuple(child.atom for child in node.children)
+                    if label.idb_atoms == children_atoms:
+                        return all(check(child) for child in node.children)
+            return False
+
+        return check(tree)

@@ -1,0 +1,260 @@
+"""Deciding ``Pi contained-in union of theta_i`` (Theorems 5.11/5.12).
+
+By Theorem 5.11, containment holds iff
+
+    T(A^ptrees(Q, Pi))  subseteq  union_i T(A^theta_i(Q, Pi)).
+
+Both automata are exponential in the input, so this module never
+materializes them.  The tree-automaton containment is decided by a
+bottom-up *profile* fixpoint:
+
+* first the union automaton ``B = disjoint-union A^theta_i`` is closed
+  forward (top-down) from its start states, yielding the finite set of
+  live B-states and a per-state transition table;
+* then profiles ``(goal atom, U)`` are derived bottom-up, where U is
+  the exact set of live B-states accepting the witness proof tree
+  rooted at that goal atom.  A profile whose goal atom is a start state
+  of A^ptrees and whose U misses every start state of B certifies
+  non-containment, and its witness proof tree is returned.
+
+Antichain pruning keeps only minimal U per goal atom: the profile
+successor map is monotone in U and the failure condition is downward
+closed, so pruning preserves completeness (ablation: ``use_antichain``).
+
+This procedure realizes the doubly exponential upper bound of
+Theorem 5.12; the matching lower bound (Section 5.3) shows the blowup
+is unavoidable in general.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..cq.query import ConjunctiveQuery, UnionOfConjunctiveQueries
+from ..datalog.atoms import Atom
+from ..datalog.program import Program
+from ..trees.expansion import ExpansionTree
+from .cq_automaton import CQAutomaton, CQState
+from .instances import Label
+from .ptree_automaton import PTreeAutomaton
+
+BState = Tuple[int, CQState]  # (disjunct index, CQ-automaton state)
+
+
+@dataclass
+class ContainmentResult:
+    """Outcome of a containment decision.
+
+    ``contained`` is the verdict; when False, ``witness`` is a proof
+    tree in ptrees(Q, Pi) admitting no strong containment mapping from
+    any disjunct (Theorem 5.8's certificate).  ``stats`` carries search
+    metrics for the benchmarks.
+    """
+
+    contained: bool
+    witness: Optional[ExpansionTree] = None
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def __bool__(self):
+        return self.contained
+
+
+class _UnionAutomaton:
+    """The disjoint union of the per-disjunct query automata, closed
+    forward from its start states and cached per (state, label)."""
+
+    def __init__(self, program: Program, goal: str,
+                 union: UnionOfConjunctiveQueries):
+        self.automata = [CQAutomaton(program, goal, theta) for theta in union]
+        self._successors: Dict[Tuple[BState, Label], Tuple[Tuple[BState, ...], ...]] = {}
+        self._by_atom: Dict[Atom, List[BState]] = {}
+        self._known: Set[BState] = set()
+
+    def initial_states(self, root_atom: Atom) -> Tuple[BState, ...]:
+        states = []
+        for index, automaton in enumerate(self.automata):
+            state = automaton.initial_state(root_atom)
+            if state is not None:
+                states.append((index, state))
+        return tuple(states)
+
+    def register(self, state: BState) -> None:
+        if state not in self._known:
+            self._known.add(state)
+            self._by_atom.setdefault(state[1].atom, []).append(state)
+
+    def states_for_atom(self, atom: Atom) -> List[BState]:
+        return self._by_atom.get(atom, [])
+
+    def successors(self, state: BState, label: Label) -> Tuple[Tuple[BState, ...], ...]:
+        key = (state, label)
+        cached = self._successors.get(key)
+        if cached is not None:
+            return cached
+        index, cq_state = state
+        tuples = tuple(
+            tuple((index, child) for child in children)
+            for children in self.automata[index].successors(cq_state, label)
+        )
+        self._successors[key] = tuples
+        for children in tuples:
+            for child in children:
+                self.register(child)
+        return tuples
+
+    def close(self, ptrees: PTreeAutomaton) -> None:
+        """Forward (top-down) closure of the live B-state space over
+        every label reachable in the proof-tree automaton."""
+        frontier: List[BState] = []
+        for atom in ptrees.initial_atoms():
+            for state in self.initial_states(atom):
+                if state not in self._known:
+                    self.register(state)
+                    frontier.append(state)
+        processed: Set[BState] = set()
+        while frontier:
+            state = frontier.pop()
+            if state in processed:
+                continue
+            processed.add(state)
+            for label in ptrees.enumerator.labels_for(state[1].atom):
+                for children in self.successors(state, label):
+                    for child in children:
+                        if child not in processed:
+                            frontier.append(child)
+
+    def live_count(self) -> int:
+        return len(self._known)
+
+
+class _ProfileChains:
+    """Per-goal-atom antichains of (U, witness) profiles."""
+
+    def __init__(self, use_antichain: bool):
+        self._chains: Dict[Atom, List[Tuple[FrozenSet[BState], ExpansionTree, int]]] = {}
+        self._use_antichain = use_antichain
+
+    def entries(self, atom: Atom):
+        return self._chains.get(atom, [])
+
+    def insert(self, atom: Atom, subset: FrozenSet[BState],
+               witness: ExpansionTree, generation: int) -> bool:
+        chain = self._chains.setdefault(atom, [])
+        if self._use_antichain:
+            if any(known <= subset for known, _, _ in chain):
+                return False
+            chain[:] = [entry for entry in chain if not subset <= entry[0]]
+        else:
+            if any(known == subset for known, _, _ in chain):
+                return False
+        chain.append((subset, witness, generation))
+        return True
+
+    def total(self) -> int:
+        return sum(len(chain) for chain in self._chains.values())
+
+
+def datalog_contained_in_ucq(program: Program, goal: str,
+                             union: UnionOfConjunctiveQueries,
+                             use_antichain: bool = True) -> ContainmentResult:
+    """Decide ``Q_Pi(D) subseteq union(D)`` for all D (Theorem 5.12).
+
+    Complete and sound for arbitrary (recursive) programs; runs in time
+    doubly exponential in the input in the worst case.
+    """
+    ptrees = PTreeAutomaton(program, goal)
+    bunion = _UnionAutomaton(program, goal, union)
+    bunion.close(ptrees)
+
+    chains = _ProfileChains(use_antichain)
+    goal_transitions = list(ptrees.transitions())
+    stats = {
+        "live_b_states": bunion.live_count(),
+        "ptree_states": len(ptrees.reachable_goal_atoms()),
+        "ptree_transitions": len(goal_transitions),
+        "rounds": 0,
+        "profiles": 0,
+    }
+
+    def accepting_b_states(atom: Atom, label: Label,
+                           child_subsets: Tuple[FrozenSet[BState], ...]) -> FrozenSet[BState]:
+        result: Set[BState] = set()
+        for q in bunion.states_for_atom(atom):
+            for children in bunion.successors(q, label):
+                if len(children) != len(child_subsets):
+                    continue
+                if all(child in subset for child, subset in zip(children, child_subsets)):
+                    result.add(q)
+                    break
+        return frozenset(result)
+
+    def is_counterexample(atom: Atom, subset: FrozenSet[BState]) -> bool:
+        if atom.predicate != goal:
+            return False
+        return not any(q in subset for q in bunion.initial_states(atom))
+
+    generation = 0
+    while True:
+        generation += 1
+        stats["rounds"] = generation
+        changed = False
+        for atom, label, children in goal_transitions:
+            if children:
+                options = [chains.entries(child) for child in children]
+                if any(not opts for opts in options):
+                    continue
+                combos = _fresh_combos(options, generation)
+            else:
+                combos = [()] if generation == 1 else []
+            for combo in combos:
+                child_subsets = tuple(entry[0] for entry in combo)
+                witness = ExpansionTree(
+                    label.atom, label.rule, tuple(entry[1] for entry in combo)
+                )
+                subset = accepting_b_states(atom, label, child_subsets)
+                if is_counterexample(atom, subset):
+                    stats["profiles"] = chains.total()
+                    return ContainmentResult(False, witness, stats)
+                if chains.insert(atom, subset, witness, generation):
+                    changed = True
+        if not changed:
+            break
+    stats["profiles"] = chains.total()
+    return ContainmentResult(True, None, stats)
+
+
+def _fresh_combos(options: List[List[Tuple]], generation: int) -> Iterator[Tuple]:
+    """Combinations of child profiles containing at least one profile
+    from the previous generation (semi-naive round evaluation)."""
+    previous = generation - 1
+    for pivot in range(len(options)):
+        before = [
+            [entry for entry in opts if entry[2] < previous]
+            for opts in options[:pivot]
+        ]
+        at = [entry for entry in options[pivot] if entry[2] == previous]
+        after = [list(opts) for opts in options[pivot + 1 :]]
+        pools = before + [at] + after
+        if any(not pool for pool in pools):
+            continue
+        combo: List[Tuple] = []
+
+        def walk(position: int):
+            if position == len(pools):
+                yield tuple(combo)
+                return
+            for entry in pools[position]:
+                combo.append(entry)
+                yield from walk(position + 1)
+                combo.pop()
+
+        yield from walk(0)
+
+
+def datalog_contained_in_cq(program: Program, goal: str,
+                            theta: ConjunctiveQuery,
+                            use_antichain: bool = True) -> ContainmentResult:
+    """Containment in a single conjunctive query (Corollary 5.7)."""
+    union = UnionOfConjunctiveQueries([theta], theta.arity)
+    return datalog_contained_in_ucq(program, goal, union, use_antichain=use_antichain)

@@ -1,0 +1,48 @@
+"""Conjunctive queries: representation, homomorphisms, containment.
+
+Implements Section 2.2 of the paper (containment mappings,
+Theorem 2.2, and the Sagiv-Yannakakis union theorem 2.3) together with
+canonical databases, direct evaluation, and minimization (cores).
+"""
+
+from .canonical import canonical_database, evaluate_cq, evaluate_ucq, freeze_variable
+from .containment import (
+    cq_contained_in,
+    cq_contained_in_ucq,
+    cq_equivalent,
+    minimal_union,
+    ucq_contained_in,
+    ucq_equivalent,
+    witness_mapping,
+)
+from .homomorphism import (
+    containment_mapping,
+    enumerate_containment_mappings,
+    enumerate_homomorphisms,
+    find_homomorphism,
+)
+from .minimize import is_minimal, minimize
+from .query import UCQ, ConjunctiveQuery, UnionOfConjunctiveQueries
+
+__all__ = [
+    "UCQ",
+    "ConjunctiveQuery",
+    "UnionOfConjunctiveQueries",
+    "canonical_database",
+    "containment_mapping",
+    "cq_contained_in",
+    "cq_contained_in_ucq",
+    "cq_equivalent",
+    "enumerate_containment_mappings",
+    "enumerate_homomorphisms",
+    "evaluate_cq",
+    "evaluate_ucq",
+    "find_homomorphism",
+    "freeze_variable",
+    "is_minimal",
+    "minimal_union",
+    "minimize",
+    "ucq_contained_in",
+    "ucq_equivalent",
+    "witness_mapping",
+]

@@ -1,0 +1,105 @@
+"""Canonical databases and direct evaluation of conjunctive queries.
+
+The canonical (frozen) database of a conjunctive query turns each
+variable into a fresh constant; it is the standard tool for reducing
+query containment to query evaluation.  In this reproduction it powers
+the classical test "CQ contained in Datalog program" (used for the easy
+direction of Theorem 6.5): theta is contained in Pi with goal Q iff
+evaluating Pi on the canonical database of theta derives the frozen
+head of theta [CK86, Sa88b].
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.database import Database
+from ..datalog.errors import ValidationError
+from ..datalog.terms import Constant, Variable, is_variable
+from .query import ConjunctiveQuery
+
+_FROZEN_PREFIX = "$frozen:"
+
+
+def freeze_variable(variable: Variable) -> Constant:
+    """The reserved constant representing *variable* in canonical DBs."""
+    return Constant(f"{_FROZEN_PREFIX}{variable.name}")
+
+
+def is_frozen_constant(constant: Constant) -> bool:
+    """True for constants produced by :func:`freeze_variable`."""
+    return isinstance(constant.value, str) and constant.value.startswith(_FROZEN_PREFIX)
+
+
+def canonical_database(query: ConjunctiveQuery) -> Tuple[Database, Tuple[Constant, ...]]:
+    """The canonical database of *query* and its frozen head row.
+
+    Every variable v becomes the reserved constant ``$frozen:v``;
+    constants are kept.  Returns ``(database, frozen_head_args)``.
+    """
+    for constant in query.constants:
+        if is_frozen_constant(constant):
+            raise ValidationError(f"query already contains reserved constant {constant}")
+    freeze: Dict[Variable, Constant] = {v: freeze_variable(v) for v in query.variables}
+    db = Database()
+    for atom in query.body:
+        db.add(atom.predicate, tuple(freeze[t] if is_variable(t) else t for t in atom.args))
+    head_row = tuple(freeze[t] if is_variable(t) else t for t in query.head.args)
+    return db, head_row
+
+
+def evaluate_cq(query: ConjunctiveQuery, database: Database) -> FrozenSet[Tuple[Constant, ...]]:
+    """The relation defined by *query* on *database*.
+
+    Distinguished variables that do not occur in the body (unsafe
+    queries) range over the active domain, matching the engine's
+    convention for unsafe rules.
+    """
+    bindings: List[Dict[Variable, Constant]] = [{}]
+    for atom in query.body:
+        rows = database.relation(atom.predicate)
+        next_bindings: List[Dict[Variable, Constant]] = []
+        for binding in bindings:
+            for row in rows:
+                extended = dict(binding)
+                ok = True
+                for term, value in zip(atom.args, row):
+                    if is_variable(term):
+                        bound = extended.get(term)
+                        if bound is None:
+                            extended[term] = value
+                        elif bound != value:
+                            ok = False
+                            break
+                    elif term != value:
+                        ok = False
+                        break
+                if ok:
+                    next_bindings.append(extended)
+        bindings = next_bindings
+        if not bindings:
+            return frozenset()
+
+    domain = sorted(database.active_domain(), key=repr)
+    results: Set[Tuple[Constant, ...]] = set()
+    head = query.head
+    for binding in bindings:
+        missing = [v for v in head.variable_set() if v not in binding]
+        if missing:
+            for values in product(domain, repeat=len(missing)):
+                full = dict(binding)
+                full.update(zip(missing, values))
+                results.add(tuple(full[t] if is_variable(t) else t for t in head.args))
+        else:
+            results.add(tuple(binding[t] if is_variable(t) else t for t in head.args))
+    return frozenset(results)
+
+
+def evaluate_ucq(union, database: Database) -> FrozenSet[Tuple[Constant, ...]]:
+    """The relation defined by a union of conjunctive queries."""
+    results: Set[Tuple[Constant, ...]] = set()
+    for query in union:
+        results.update(evaluate_cq(query, database))
+    return frozenset(results)

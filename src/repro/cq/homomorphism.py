@@ -1,0 +1,136 @@
+"""Containment mappings / homomorphisms between conjunctive queries.
+
+Implements Definition 2.1 of the paper, extended with constants per
+Remark 5.14: a containment mapping from psi to theta renames variables
+of psi such that (a) the head of psi maps onto the head of theta
+argument-wise, (b) nondistinguished variables may map to variables or
+constants of theta, and (c) after renaming every body atom of psi is
+among the body atoms of theta.
+
+The search is a backtracking constraint solver over the atoms of psi,
+with target atoms indexed by predicate and source atoms ordered
+most-constrained-first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.terms import Term, Variable, is_variable
+
+Mapping = Dict[Variable, Term]
+
+
+def _index_by_predicate(atoms: Sequence[Atom]) -> Dict[str, List[Atom]]:
+    index: Dict[str, List[Atom]] = {}
+    for atom in atoms:
+        index.setdefault(atom.predicate, []).append(atom)
+    return index
+
+
+def _extend(atom: Atom, target: Atom, mapping: Mapping) -> Optional[Mapping]:
+    """Try to extend *mapping* so that *atom* maps onto *target*."""
+    if atom.predicate != target.predicate or atom.arity != target.arity:
+        return None
+    extended = dict(mapping)
+    for source_term, target_term in zip(atom.args, target.args):
+        if is_variable(source_term):
+            bound = extended.get(source_term)
+            if bound is None:
+                extended[source_term] = target_term
+            elif bound != target_term:
+                return None
+        elif source_term != target_term:
+            return None
+    return extended
+
+
+def _order_atoms(atoms: Sequence[Atom], bound: Iterable[Variable]) -> List[Atom]:
+    """Order source atoms so that each step shares variables with the
+    already-mapped prefix where possible (reduces backtracking)."""
+    remaining = list(atoms)
+    ordered: List[Atom] = []
+    seen = set(bound)
+    while remaining:
+        def score(atom: Atom):
+            variables = atom.variable_set()
+            return (len(variables & seen) + len(atom.constants()), -len(variables - seen))
+
+        best = max(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        seen.update(best.variable_set())
+    return ordered
+
+
+def enumerate_homomorphisms(source: Sequence[Atom], target: Sequence[Atom],
+                            seed: Optional[Mapping] = None) -> Iterator[Mapping]:
+    """Yield every mapping of source variables to target terms under
+    which each source atom occurs among the target atoms, extending the
+    optional *seed* mapping."""
+    seed = dict(seed or {})
+    index = _index_by_predicate(target)
+    ordered = _order_atoms(source, seed.keys())
+
+    def search(position: int, mapping: Mapping) -> Iterator[Mapping]:
+        if position == len(ordered):
+            yield dict(mapping)
+            return
+        atom = ordered[position]
+        for candidate in index.get(atom.predicate, ()):
+            extended = _extend(atom, candidate, mapping)
+            if extended is not None:
+                yield from search(position + 1, extended)
+
+    yield from search(0, seed)
+
+
+def find_homomorphism(source: Sequence[Atom], target: Sequence[Atom],
+                      seed: Optional[Mapping] = None) -> Optional[Mapping]:
+    """The first homomorphism found, or None."""
+    for mapping in enumerate_homomorphisms(source, target, seed):
+        return mapping
+    return None
+
+
+def _head_seed(source_head: Atom, target_head: Atom) -> Optional[Mapping]:
+    """Seed mapping forcing the source head onto the target head.
+
+    Returns None when the heads are incompatible (different arity, or a
+    head constant that does not match).
+    """
+    if source_head.arity != target_head.arity:
+        return None
+    seed: Mapping = {}
+    for source_term, target_term in zip(source_head.args, target_head.args):
+        if is_variable(source_term):
+            bound = seed.get(source_term)
+            if bound is None:
+                seed[source_term] = target_term
+            elif bound != target_term:
+                return None
+        elif source_term != target_term:
+            return None
+    return seed
+
+
+def containment_mapping(psi, theta) -> Optional[Mapping]:
+    """A containment mapping from query *psi* to query *theta*.
+
+    Per Theorem 2.2 such a mapping exists iff theta is contained in psi.
+    Head predicates are not compared (only the argument tuples matter);
+    repeated head variables and head constants are handled by the seed.
+    """
+    seed = _head_seed(psi.head, theta.head)
+    if seed is None:
+        return None
+    return find_homomorphism(psi.body, theta.body, seed)
+
+
+def enumerate_containment_mappings(psi, theta) -> Iterator[Mapping]:
+    """All containment mappings from *psi* to *theta*."""
+    seed = _head_seed(psi.head, theta.head)
+    if seed is None:
+        return
+    yield from enumerate_homomorphisms(psi.body, theta.body, seed)

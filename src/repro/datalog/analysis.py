@@ -1,0 +1,185 @@
+"""Structural analysis of Datalog programs.
+
+Implements the dependence graph of Section 2.1 (edge ``Q -> P`` when P
+depends on Q, i.e. Q occurs in the body of a rule with head P),
+recursion and linearity tests, strongly connected components (own
+iterative Tarjan, no external graph library), topological ordering of
+nonrecursive programs, and goal-directed program slicing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from .errors import NotNonrecursiveError
+from .program import Program
+from .rules import Rule
+
+
+def dependence_graph(program: Program) -> Dict[str, FrozenSet[str]]:
+    """Map each predicate P to the set of predicates it depends on.
+
+    ``P depends on Q`` when Q occurs in the body of a rule whose head
+    predicate is P.  (The paper draws the edge from Q to P; we store the
+    adjacency in the "depends on" direction, which is the transpose.)
+    """
+    depends: Dict[str, Set[str]] = {p: set() for p in program.predicates}
+    for rule in program.rules:
+        depends[rule.head.predicate].update(rule.body_predicates())
+    return {p: frozenset(qs) for p, qs in depends.items()}
+
+
+def strongly_connected_components(program: Program) -> List[FrozenSet[str]]:
+    """SCCs of the dependence graph, in reverse topological order
+    (callees before callers).  Iterative Tarjan."""
+    graph = dependence_graph(program)
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[FrozenSet[str]] = []
+    counter = [0]
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, edge_index = work.pop()
+            if edge_index == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            successors = sorted(graph.get(node, ()))
+            advanced = False
+            for i in range(edge_index, len(successors)):
+                succ = successors[i]
+                if succ not in index:
+                    work.append((node, i + 1))
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                component: Set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(frozenset(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def recursive_predicates(program: Program) -> FrozenSet[str]:
+    """Predicates that depend recursively on themselves.
+
+    A predicate is recursive when it lies on a cycle of the dependence
+    graph, including a self-loop.
+    """
+    graph = dependence_graph(program)
+    result: Set[str] = set()
+    for component in strongly_connected_components(program):
+        if len(component) > 1:
+            result.update(component)
+        else:
+            (predicate,) = component
+            if predicate in graph.get(predicate, ()):
+                result.add(predicate)
+    return frozenset(result)
+
+
+def is_recursive(program: Program) -> bool:
+    """True when the dependence graph has a cycle (Section 2.1)."""
+    return bool(recursive_predicates(program))
+
+
+def is_nonrecursive(program: Program) -> bool:
+    """True when the dependence graph is acyclic."""
+    return not is_recursive(program)
+
+
+def recursive_body_atoms(program: Program, rule: Rule) -> Tuple[int, ...]:
+    """Indices of body atoms that are *recursive subgoals* of *rule*.
+
+    A body atom is a recursive subgoal when its predicate is in the same
+    strongly connected component as the head predicate (i.e. the two are
+    mutually recursive), following the standard definition used for
+    linearity [CK86, UV88].
+    """
+    component_of: Dict[str, FrozenSet[str]] = {}
+    for component in strongly_connected_components(program):
+        for predicate in component:
+            component_of[predicate] = component
+    recursive = recursive_predicates(program)
+    head = rule.head.predicate
+    indices = []
+    for i, atom in enumerate(rule.body):
+        same_component = component_of.get(atom.predicate) is component_of.get(head)
+        if same_component and atom.predicate in recursive and head in recursive:
+            indices.append(i)
+    return tuple(indices)
+
+
+def is_linear(program: Program) -> bool:
+    """True when every rule has at most one recursive subgoal.
+
+    Nonrecursive programs are trivially linear.
+    """
+    return all(len(recursive_body_atoms(program, rule)) <= 1 for rule in program.rules)
+
+
+def topological_order(program: Program) -> List[str]:
+    """IDB predicates of a *nonrecursive* program, callees first.
+
+    Raises :class:`NotNonrecursiveError` on recursive input.
+    """
+    if is_recursive(program):
+        raise NotNonrecursiveError("program is recursive; no topological order exists")
+    order: List[str] = []
+    for component in strongly_connected_components(program):
+        (predicate,) = component
+        if predicate in program.idb_predicates:
+            order.append(predicate)
+    return order
+
+
+def reachable_predicates(program: Program, goal: str) -> FrozenSet[str]:
+    """Predicates reachable from *goal* in the dependence graph."""
+    graph = dependence_graph(program)
+    seen: Set[str] = {goal}
+    frontier = [goal]
+    while frontier:
+        node = frontier.pop()
+        for succ in graph.get(node, ()):
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    return frozenset(seen)
+
+
+def slice_for_goal(program: Program, goal: str) -> Program:
+    """The subprogram of rules relevant to *goal*.
+
+    Keeps exactly the rules whose head predicate is reachable from the
+    goal; the sliced program defines the same goal relation.
+    """
+    program.require_goal(goal)
+    keep = reachable_predicates(program, goal)
+    return Program(rule for rule in program.rules if rule.head.predicate in keep)
+
+
+def max_idb_body_atoms(program: Program) -> int:
+    """The maximum number of IDB atoms in any rule body (the rank bound
+    for proof trees, Section 5.1)."""
+    if not program.rules:
+        return 0
+    return max(len(program.idb_atoms_of(rule)) for rule in program.rules)

@@ -1,0 +1,133 @@
+"""Databases: finite relational structures over constants.
+
+A database maps predicate symbols to finite sets of tuples of
+:class:`~repro.datalog.terms.Constant`.  This is the extensional input
+``D`` on which programs and queries are evaluated throughout the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Set, Tuple
+
+from .atoms import Atom
+from .errors import ArityError, ValidationError
+from .terms import Constant
+
+Fact = Tuple[str, Tuple[Constant, ...]]
+
+
+class Database:
+    """A mutable finite relational structure.
+
+    Use :meth:`add` / :meth:`add_atom` to populate, or the classmethod
+    constructors :meth:`from_facts` and :meth:`from_atoms`.
+    """
+
+    def __init__(self):
+        self._relations: Dict[str, Set[Tuple[Constant, ...]]] = {}
+        self._arity: Dict[str, int] = {}
+
+    @classmethod
+    def from_facts(cls, facts: Iterable[Fact]) -> "Database":
+        """Build a database from ``(predicate, tuple-of-constants)`` pairs."""
+        db = cls()
+        for predicate, row in facts:
+            db.add(predicate, row)
+        return db
+
+    @classmethod
+    def from_atoms(cls, atoms: Iterable[Atom]) -> "Database":
+        """Build a database from ground atoms."""
+        db = cls()
+        for atom in atoms:
+            db.add_atom(atom)
+        return db
+
+    def add(self, predicate: str, row: Iterable) -> None:
+        """Insert one tuple; bare Python values are wrapped as constants."""
+        converted = tuple(v if isinstance(v, Constant) else Constant(v) for v in row)
+        known = self._arity.setdefault(predicate, len(converted))
+        if known != len(converted):
+            raise ArityError(
+                f"predicate {predicate!r} used with arities {known} and {len(converted)}"
+            )
+        self._relations.setdefault(predicate, set()).add(converted)
+
+    def add_atom(self, atom: Atom) -> None:
+        """Insert a ground atom as a fact."""
+        if not atom.is_ground():
+            raise ValidationError(f"cannot store non-ground atom {atom}")
+        self.add(atom.predicate, atom.args)
+
+    def relation(self, predicate: str) -> FrozenSet[Tuple[Constant, ...]]:
+        """The set of tuples for *predicate* (empty if absent)."""
+        return frozenset(self._relations.get(predicate, ()))
+
+    def predicates(self) -> FrozenSet[str]:
+        """All predicates that have at least one declared arity."""
+        return frozenset(self._arity)
+
+    def arity(self, predicate: str) -> int:
+        """Arity of *predicate* (raises KeyError when unknown)."""
+        return self._arity[predicate]
+
+    def facts(self) -> Iterator[Fact]:
+        """Iterate over all facts as ``(predicate, row)`` pairs."""
+        for predicate, rows in self._relations.items():
+            for row in rows:
+                yield predicate, row
+
+    def atoms(self) -> Iterator[Atom]:
+        """Iterate over all facts as ground atoms."""
+        for predicate, row in self.facts():
+            yield Atom(predicate, row)
+
+    def active_domain(self) -> FrozenSet[Constant]:
+        """All constants occurring in some fact."""
+        domain = set()
+        for _, rows in self._relations.items():
+            for row in rows:
+                domain.update(row)
+        return frozenset(domain)
+
+    def contains(self, predicate: str, row: Iterable) -> bool:
+        """Membership test, wrapping bare values as constants."""
+        converted = tuple(v if isinstance(v, Constant) else Constant(v) for v in row)
+        return converted in self._relations.get(predicate, set())
+
+    def copy(self) -> "Database":
+        """An independent copy."""
+        db = Database()
+        db._arity = dict(self._arity)
+        db._relations = {p: set(rows) for p, rows in self._relations.items()}
+        return db
+
+    def merge(self, other: "Database") -> "Database":
+        """A new database holding the union of the two fact sets."""
+        db = self.copy()
+        for predicate, row in other.facts():
+            db.add(predicate, row)
+        return db
+
+    def restrict(self, predicates: Iterable[str]) -> "Database":
+        """A new database keeping only the given predicates."""
+        keep = set(predicates)
+        db = Database()
+        for predicate, row in self.facts():
+            if predicate in keep:
+                db.add(predicate, row)
+        return db
+
+    def __len__(self):
+        return sum(len(rows) for rows in self._relations.values())
+
+    def __eq__(self, other):
+        if not isinstance(other, Database):
+            return NotImplemented
+        mine = {p: rows for p, rows in self._relations.items() if rows}
+        theirs = {p: rows for p, rows in other._relations.items() if rows}
+        return mine == theirs
+
+    def __repr__(self):
+        parts = ", ".join(f"{p}:{len(rows)}" for p, rows in sorted(self._relations.items()))
+        return f"Database({parts})"

@@ -1,0 +1,286 @@
+"""Bottom-up evaluation of Datalog programs.
+
+Implements both naive and semi-naive fixpoint evaluation (the latter is
+the default).  The stage-bounded relation ``Q^i_Pi(D)`` of Section 2.1
+("facts deducible by at most i applications of the rules") is exposed
+via the ``max_stages`` argument: stage *i* performs one parallel
+application of all rules to the stage *i-1* result.
+
+Unsafe rules (head variables that do not occur in the body, including
+empty-body rules as in Example 6.2) are evaluated under active-domain
+semantics: unbound head variables range over the constants occurring in
+the database, the program, or previously derived facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .atoms import Atom
+from .database import Database
+from .program import Program
+from .rules import Rule
+from .terms import Constant, Variable, is_variable
+
+Row = Tuple[Constant, ...]
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of a bottom-up evaluation.
+
+    ``idb`` maps each IDB predicate to its derived rows; ``stages`` is
+    the number of rounds executed before the fixpoint (or the stage
+    bound) was reached; ``fixpoint`` tells whether a fixpoint was
+    actually reached.
+    """
+
+    idb: Dict[str, FrozenSet[Row]]
+    stages: int
+    fixpoint: bool
+
+    def facts(self, predicate: str) -> FrozenSet[Row]:
+        """Rows derived for *predicate* (empty when none)."""
+        return self.idb.get(predicate, frozenset())
+
+    def as_database(self, base: Optional[Database] = None) -> Database:
+        """The derived facts as a database, optionally merged onto *base*."""
+        db = base.copy() if base is not None else Database()
+        for predicate, rows in self.idb.items():
+            for row in rows:
+                db.add(predicate, row)
+        return db
+
+
+def _match_rows(atom: Atom, rows: Iterable[Row], binding: Dict[Variable, Constant]):
+    """Yield extensions of *binding* unifying *atom* with each row."""
+    args = atom.args
+    for row in rows:
+        extended = dict(binding)
+        ok = True
+        for arg, value in zip(args, row):
+            if is_variable(arg):
+                bound = extended.get(arg)
+                if bound is None:
+                    extended[arg] = value
+                elif bound != value:
+                    ok = False
+                    break
+            elif arg != value:
+                ok = False
+                break
+        if ok:
+            yield extended
+
+
+class _Store:
+    """Relation store used during evaluation: pred -> set of rows.
+
+    Maintains lazily-built hash indexes per (predicate, position) so
+    joins can look up candidate rows by a bound argument instead of
+    scanning the relation.
+    """
+
+    def __init__(self, database: Database):
+        self._rows: Dict[str, Set[Row]] = {}
+        self._indexes: Dict[Tuple[str, int], Dict[Constant, Set[Row]]] = {}
+        for predicate, row in database.facts():
+            self._rows.setdefault(predicate, set()).add(row)
+
+    def rows(self, predicate: str) -> Set[Row]:
+        return self._rows.get(predicate, set())
+
+    def candidates(self, predicate: str, position: int, value: Constant) -> Set[Row]:
+        """Rows of *predicate* whose *position*-th column is *value*."""
+        key = (predicate, position)
+        index = self._indexes.get(key)
+        if index is None:
+            index = {}
+            for row in self._rows.get(predicate, ()):
+                index.setdefault(row[position], set()).add(row)
+            self._indexes[key] = index
+        return index.get(value, set())
+
+    def add_all(self, predicate: str, rows: Iterable[Row]) -> Set[Row]:
+        """Insert rows; return the genuinely new ones."""
+        existing = self._rows.setdefault(predicate, set())
+        fresh = {row for row in rows if row not in existing}
+        existing.update(fresh)
+        if fresh:
+            for (pred, position), index in self._indexes.items():
+                if pred != predicate:
+                    continue
+                for row in fresh:
+                    index.setdefault(row[position], set()).add(row)
+        return fresh
+
+
+def _active_domain(database: Database, program: Program, store: _Store) -> List[Constant]:
+    domain: Set[Constant] = set(database.active_domain())
+    domain.update(program.constants)
+    for predicate in program.idb_predicates:
+        for row in store.rows(predicate):
+            domain.update(row)
+    return sorted(domain, key=repr)
+
+
+def _apply_rule(rule: Rule, store: _Store, domain: List[Constant],
+                delta: Optional[Tuple[int, Set[Row]]] = None) -> Set[Row]:
+    """All head rows derivable by one application of *rule*.
+
+    When *delta* is ``(index, rows)``, the body atom at *index* is
+    matched against *rows* instead of the full store (semi-naive mode).
+    """
+    body = rule.body
+    plan: List[Tuple[Atom, Optional[Set[Row]]]] = []
+    for i, atom in enumerate(body):
+        source = delta[1] if delta is not None and i == delta[0] else None
+        plan.append((atom, source))
+    # Order the join greedily, keeping the (atom, source) association.
+    ordered: List[Tuple[Atom, Optional[Set[Row]]]] = []
+    remaining = list(plan)
+    bound: Set[Variable] = set()
+    while remaining:
+        def score(entry):
+            atom = entry[0]
+            variables = atom.variable_set()
+            return (len(variables & bound) + len(atom.constants()), -len(variables - bound))
+
+        best = max(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(best[0].variable_set())
+
+    bindings: List[Dict[Variable, Constant]] = [{}]
+    bound_so_far: Set[Variable] = set()
+    for atom, source in ordered:
+        # Pick an indexable position: a constant argument or a variable
+        # bound by the join prefix (the bound set is the same for every
+        # partial binding in the batch).
+        index_position = None
+        for position, arg in enumerate(atom.args):
+            if not is_variable(arg) or arg in bound_so_far:
+                index_position = position
+                break
+        next_bindings: List[Dict[Variable, Constant]] = []
+        if source is not None or index_position is None:
+            rows = source if source is not None else store.rows(atom.predicate)
+            for binding in bindings:
+                next_bindings.extend(_match_rows(atom, rows, binding))
+        else:
+            arg = atom.args[index_position]
+            for binding in bindings:
+                value = binding[arg] if is_variable(arg) else arg
+                rows = store.candidates(atom.predicate, index_position, value)
+                next_bindings.extend(_match_rows(atom, rows, binding))
+        bindings = next_bindings
+        bound_so_far.update(atom.variable_set())
+        if not bindings:
+            return set()
+
+    derived: Set[Row] = set()
+    head = rule.head
+    for binding in bindings:
+        missing = [v for v in head.variable_set() if v not in binding]
+        if missing:
+            # Unsafe rule: instantiate unbound head variables over the
+            # active domain (empty domain derives nothing).
+            for values in product(domain, repeat=len(missing)):
+                full = dict(binding)
+                full.update(zip(missing, values))
+                derived.add(tuple(full[a] if is_variable(a) else a for a in head.args))
+        else:
+            derived.add(tuple(binding[a] if is_variable(a) else a for a in head.args))
+    return derived
+
+
+def naive_evaluate(program: Program, database: Database,
+                   max_stages: Optional[int] = None) -> EvaluationResult:
+    """Naive (Jacobi-style) fixpoint evaluation.
+
+    Stage *i* applies every rule to the stage *i-1* store, so the result
+    after ``max_stages=i`` is exactly ``Q^i_Pi(D)`` for every IDB
+    predicate Q.
+    """
+    store = _Store(database)
+    stage = 0
+    fixpoint = False
+    while max_stages is None or stage < max_stages:
+        domain = _active_domain(database, program, store)
+        changed = False
+        derived: Dict[str, Set[Row]] = {}
+        for rule in program.rules:
+            derived.setdefault(rule.head.predicate, set()).update(
+                _apply_rule(rule, store, domain)
+            )
+        for predicate, rows in derived.items():
+            if store.add_all(predicate, rows):
+                changed = True
+        stage += 1
+        if not changed:
+            fixpoint = True
+            stage -= 1  # the last round derived nothing new
+            break
+    idb = {p: frozenset(store.rows(p)) for p in program.idb_predicates}
+    return EvaluationResult(idb=idb, stages=stage, fixpoint=fixpoint)
+
+
+def seminaive_evaluate(program: Program, database: Database,
+                       max_stages: Optional[int] = None) -> EvaluationResult:
+    """Semi-naive fixpoint evaluation with per-IDB-occurrence deltas."""
+    store = _Store(database)
+    idb = program.idb_predicates
+    domain = _active_domain(database, program, store)
+
+    # Stage 1: full application of every rule to the EDB-only store.
+    delta: Dict[str, Set[Row]] = {p: set() for p in idb}
+    for rule in program.rules:
+        fresh = store.add_all(rule.head.predicate, _apply_rule(rule, store, domain))
+        delta[rule.head.predicate].update(fresh)
+    stage = 1 if any(delta.values()) else 0
+    fixpoint = not any(delta.values())
+
+    while any(delta.values()) and (max_stages is None or stage < max_stages):
+        domain = _active_domain(database, program, store)
+        new_delta: Dict[str, Set[Row]] = {p: set() for p in idb}
+        changed = False
+        for rule in program.rules:
+            for index, atom in enumerate(rule.body):
+                if atom.predicate not in idb:
+                    continue
+                focus = delta.get(atom.predicate)
+                if not focus:
+                    continue
+                rows = _apply_rule(rule, store, domain, delta=(index, focus))
+                fresh = store.add_all(rule.head.predicate, rows)
+                if fresh:
+                    new_delta[rule.head.predicate].update(fresh)
+                    changed = True
+        delta = new_delta
+        if changed:
+            stage += 1
+        else:
+            fixpoint = True
+            break
+    if not any(delta.values()):
+        fixpoint = True
+    idb_rows = {p: frozenset(store.rows(p)) for p in idb}
+    return EvaluationResult(idb=idb_rows, stages=stage, fixpoint=fixpoint)
+
+
+def evaluate(program: Program, database: Database,
+             max_stages: Optional[int] = None) -> EvaluationResult:
+    """Evaluate *program* on *database* (semi-naive; see module docs)."""
+    if max_stages is not None:
+        # Stage-bounded semantics is defined by naive rounds.
+        return naive_evaluate(program, database, max_stages=max_stages)
+    return seminaive_evaluate(program, database)
+
+
+def query(program: Program, database: Database, goal: str,
+          max_stages: Optional[int] = None) -> FrozenSet[Row]:
+    """The relation ``goal_Pi(D)`` (or its stage-bounded version)."""
+    program.require_goal(goal)
+    return evaluate(program, database, max_stages=max_stages).facts(goal)

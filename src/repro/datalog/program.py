@@ -1,0 +1,123 @@
+"""Datalog programs: finite sets of Horn rules.
+
+A program classifies its predicates into IDB (those occurring in some
+rule head) and EDB (all others), exposes per-predicate rule lookup, and
+validates arity consistency (Section 2.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, Iterable, Tuple
+
+from .atoms import Atom
+from .errors import ArityError, ValidationError
+from .rules import Rule
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable Datalog program.
+
+    The rule order is preserved (it is used for deterministic
+    pretty-printing and automaton construction) but is semantically
+    irrelevant.
+    """
+
+    rules: Tuple[Rule, ...]
+
+    def __init__(self, rules: Iterable[Rule]):
+        object.__setattr__(self, "rules", tuple(rules))
+        self._validate_arities()
+
+    def _validate_arities(self):
+        arities: Dict[str, int] = {}
+        for rule in self.rules:
+            for atom in (rule.head, *rule.body):
+                known = arities.setdefault(atom.predicate, atom.arity)
+                if known != atom.arity:
+                    raise ArityError(
+                        f"predicate {atom.predicate!r} used with arities {known} and {atom.arity}"
+                    )
+
+    @cached_property
+    def idb_predicates(self) -> frozenset:
+        """Predicates occurring in the head of some rule."""
+        return frozenset(rule.head.predicate for rule in self.rules)
+
+    @cached_property
+    def edb_predicates(self) -> frozenset:
+        """Predicates occurring only in rule bodies."""
+        preds = set()
+        for rule in self.rules:
+            preds.update(rule.body_predicates())
+        return frozenset(preds - self.idb_predicates)
+
+    @cached_property
+    def predicates(self) -> frozenset:
+        """All predicates mentioned by the program."""
+        return self.idb_predicates | self.edb_predicates
+
+    @cached_property
+    def arity(self) -> Dict[str, int]:
+        """Mapping predicate -> arity."""
+        arities: Dict[str, int] = {}
+        for rule in self.rules:
+            for atom in (rule.head, *rule.body):
+                arities[atom.predicate] = atom.arity
+        return arities
+
+    @cached_property
+    def constants(self) -> frozenset:
+        """All constants occurring in the program."""
+        result = set()
+        for rule in self.rules:
+            result.update(rule.constants())
+        return frozenset(result)
+
+    def rules_for(self, predicate: str) -> Tuple[Rule, ...]:
+        """The rules whose head predicate is *predicate*, in order."""
+        return tuple(rule for rule in self.rules if rule.head.predicate == predicate)
+
+    def is_idb(self, predicate: str) -> bool:
+        """True when *predicate* occurs in some rule head."""
+        return predicate in self.idb_predicates
+
+    def require_goal(self, goal: str) -> None:
+        """Raise :class:`ValidationError` unless *goal* is an IDB predicate."""
+        if goal not in self.idb_predicates:
+            raise ValidationError(f"goal predicate {goal!r} is not an IDB predicate of the program")
+
+    def idb_atoms_of(self, rule: Rule) -> Tuple[Atom, ...]:
+        """IDB atoms in the body of *rule*, in order."""
+        return rule.idb_body_atoms(self.idb_predicates)
+
+    def edb_atoms_of(self, rule: Rule) -> Tuple[Atom, ...]:
+        """EDB atoms in the body of *rule*, in order."""
+        return rule.edb_body_atoms(self.idb_predicates)
+
+    def extend(self, rules: Iterable[Rule]) -> "Program":
+        """A new program with *rules* appended."""
+        return Program(self.rules + tuple(rules))
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __len__(self):
+        return len(self.rules)
+
+    def __str__(self):
+        return "\n".join(str(rule) for rule in self.rules)
+
+    def __repr__(self):
+        return f"Program({len(self.rules)} rules, idb={sorted(self.idb_predicates)})"
+
+    def size(self) -> int:
+        """A syntactic size measure: total number of atom argument slots
+        plus one per atom (used in growth benchmarks)."""
+        total = 0
+        for rule in self.rules:
+            for atom in (rule.head, *rule.body):
+                total += 1 + atom.arity
+        return total

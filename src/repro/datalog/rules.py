@@ -1,0 +1,83 @@
+"""Horn rules: a head atom and a conjunction of body atoms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from .atoms import Atom, atoms_constants, atoms_variables
+from .terms import Term, Variable
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A Horn rule ``head :- body``.
+
+    An empty body is permitted and is equivalent to *true* (the
+    convention used in Example 6.2 of the paper).  Such rules, and more
+    generally rules whose head variables do not all occur in the body,
+    are *unsafe*; bottom-up evaluation instantiates their unbound head
+    variables over the active domain.
+    """
+
+    head: Atom
+    body: Tuple[Atom, ...]
+
+    def __post_init__(self):
+        if not isinstance(self.body, tuple):
+            object.__setattr__(self, "body", tuple(self.body))
+
+    def variables(self) -> frozenset:
+        """All variables occurring in the rule (head or body)."""
+        return atoms_variables((self.head, *self.body))
+
+    def body_variables(self) -> frozenset:
+        """Variables occurring in the body."""
+        return atoms_variables(self.body)
+
+    def constants(self) -> frozenset:
+        """All constants occurring in the rule."""
+        return atoms_constants((self.head, *self.body))
+
+    @property
+    def is_safe(self) -> bool:
+        """True when every head variable occurs in the body."""
+        return self.head.variable_set() <= self.body_variables()
+
+    @property
+    def is_fact(self) -> bool:
+        """True for a ground, body-less rule."""
+        return not self.body and self.head.is_ground()
+
+    def body_predicates(self) -> frozenset:
+        """Predicate symbols occurring in the body."""
+        return frozenset(a.predicate for a in self.body)
+
+    def substitute(self, subst: Mapping[Variable, Term]) -> "Rule":
+        """Apply a substitution to head and body."""
+        return Rule(self.head.substitute(subst), tuple(a.substitute(subst) for a in self.body))
+
+    def rename_apart(self, factory) -> "Rule":
+        """Return a copy whose variables are fresh ones from *factory*.
+
+        Used to take a "fresh copy" of a rule when building unfolding
+        expansion trees (Definition 2.4 of the paper).
+        """
+        mapping = {v: factory.fresh() for v in sorted(self.variables(), key=lambda v: v.name)}
+        return self.substitute(mapping)
+
+    def idb_body_atoms(self, idb_predicates) -> Tuple[Atom, ...]:
+        """Body atoms whose predicate is in *idb_predicates*, in order."""
+        return tuple(a for a in self.body if a.predicate in idb_predicates)
+
+    def edb_body_atoms(self, idb_predicates) -> Tuple[Atom, ...]:
+        """Body atoms whose predicate is not in *idb_predicates*."""
+        return tuple(a for a in self.body if a.predicate not in idb_predicates)
+
+    def __str__(self):
+        if not self.body:
+            return f"{self.head}."
+        return f"{self.head} :- {', '.join(str(a) for a in self.body)}."
+
+    def __repr__(self):
+        return f"Rule({str(self)!r})"

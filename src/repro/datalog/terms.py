@@ -1,0 +1,90 @@
+"""Terms of the Datalog language: variables and constants.
+
+The paper's language is function-free (Datalog), so a term is either a
+variable or a constant.  Constants are permitted throughout per
+Remark 5.14 of the paper.
+
+Both term kinds are immutable and hashable so they can be used freely
+as dictionary keys in substitutions and homomorphisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A first-order variable, identified by its name.
+
+    By parser convention variable names start with an uppercase letter
+    or an underscore, but any string is accepted when constructing
+    programmatically.
+    """
+
+    name: str
+
+    def __str__(self):
+        return self.name
+
+    def __repr__(self):
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A constant symbol.  The payload may be a string or an integer."""
+
+    value: Union[str, int]
+
+    def __str__(self):
+        if isinstance(self.value, int):
+            return str(self.value)
+        if self.value and self.value[0].islower() and self.value.isalnum():
+            return self.value
+        return repr(self.value)
+
+    def __repr__(self):
+        return f"Constant({self.value!r})"
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: Term) -> bool:
+    """Return True when *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """Return True when *term* is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+class FreshVariableFactory:
+    """Produces variables guaranteed not to clash with a given set.
+
+    The factory emits names of the form ``prefix0, prefix1, ...`` and
+    skips any name present in the avoid-set supplied at construction or
+    added later via :meth:`avoid`.
+    """
+
+    def __init__(self, avoid=(), prefix="V"):
+        self._avoid = {v.name if isinstance(v, Variable) else str(v) for v in avoid}
+        self._prefix = prefix
+        self._counter = 0
+
+    def avoid(self, names):
+        """Add more names (or Variables) that must not be produced."""
+        for name in names:
+            self._avoid.add(name.name if isinstance(name, Variable) else str(name))
+
+    def fresh(self) -> Variable:
+        """Return a new variable distinct from everything seen so far."""
+        while True:
+            candidate = f"{self._prefix}{self._counter}"
+            self._counter += 1
+            if candidate not in self._avoid:
+                self._avoid.add(candidate)
+                return Variable(candidate)

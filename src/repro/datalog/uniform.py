@@ -1,0 +1,68 @@
+"""Uniform containment of Datalog programs [Sa88b].
+
+``Pi`` is *uniformly contained* in ``Pi'`` (over the same IDB/EDB
+vocabulary) when ``Pi(D) subseteq Pi'(D)`` for every database D that
+may already contain IDB facts -- i.e. treating the IDB predicates as
+extensional on input.  Uniform containment implies ordinary
+containment and, unlike it, is decidable in polynomial time per rule:
+Pi is uniformly contained in Pi' iff for every rule of Pi, evaluating
+Pi' on the frozen body derives the frozen head [Sa88b].
+
+The paper cites this line of work as the prior art its automata
+machinery supersedes for the general (non-uniform) problem; the module
+exists both as the classical baseline and as a cheap sufficient check
+used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .atoms import Atom
+from .database import Database
+from .engine import evaluate
+from .errors import ValidationError
+from .program import Program
+from .rules import Rule
+from .terms import Constant, Variable, is_variable
+
+_FREEZE_PREFIX = "$u:"
+
+
+def _freeze_atom(atom: Atom) -> Atom:
+    args = tuple(
+        Constant(f"{_FREEZE_PREFIX}{t.name}") if is_variable(t) else t
+        for t in atom.args
+    )
+    return Atom(atom.predicate, args)
+
+
+def rule_uniformly_subsumed(rule: Rule, program: Program) -> bool:
+    """Does *program* derive the frozen head of *rule* from its frozen
+    body?  (The per-rule test of the uniform-containment criterion.)"""
+    if not rule.is_safe:
+        raise ValidationError(
+            f"uniform containment requires safe rules, got {rule}"
+        )
+    database = Database.from_atoms(_freeze_atom(a) for a in rule.body)
+    result = evaluate(program, database)
+    frozen_head = _freeze_atom(rule.head)
+    if frozen_head.predicate in program.idb_predicates:
+        return frozen_head.args in result.facts(frozen_head.predicate)
+    return database.contains(frozen_head.predicate, frozen_head.args)
+
+
+def uniformly_contained_in(pi: Program, pi_prime: Program) -> bool:
+    """Sound and complete test for uniform containment [Sa88b]:
+    every rule of *pi* must be uniformly subsumed by *pi_prime*.
+
+    Uniform containment implies ordinary containment of every common
+    IDB predicate; the converse fails (Example 1.1's Pi_1 is contained
+    in -- indeed equivalent to -- its rewriting, but not uniformly).
+    """
+    return all(rule_uniformly_subsumed(rule, pi_prime) for rule in pi.rules)
+
+
+def uniformly_equivalent(pi: Program, pi_prime: Program) -> bool:
+    """Mutual uniform containment."""
+    return uniformly_contained_in(pi, pi_prime) and uniformly_contained_in(pi_prime, pi)

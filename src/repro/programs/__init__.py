@@ -1,0 +1,39 @@
+"""The paper's worked example programs and benchmark families."""
+
+from .library import (
+    buys_bounded,
+    buys_bounded_rewriting,
+    buys_recursive,
+    buys_recursive_rewriting,
+    chain_program,
+    dist,
+    dist_le,
+    equal,
+    nonlinear_reach,
+    plain_transitive_closure,
+    same_generation,
+    transitive_closure,
+    widget_certified,
+    widget_certified_rewriting,
+    widget_supply_chain,
+    word,
+)
+
+__all__ = [
+    "buys_bounded",
+    "buys_bounded_rewriting",
+    "buys_recursive",
+    "buys_recursive_rewriting",
+    "chain_program",
+    "dist",
+    "dist_le",
+    "equal",
+    "nonlinear_reach",
+    "plain_transitive_closure",
+    "same_generation",
+    "transitive_closure",
+    "widget_certified",
+    "widget_certified_rewriting",
+    "widget_supply_chain",
+    "word",
+]

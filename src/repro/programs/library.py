@@ -1,0 +1,216 @@
+"""The worked programs of the paper, as reusable builders.
+
+Every example the paper discusses is available here by its example
+number, plus parametrized families used by the benchmarks:
+
+* :func:`buys_bounded` / :func:`buys_bounded_rewriting` -- Example 1.1,
+  the trendy/buys program that *is* equivalent to a nonrecursive one.
+* :func:`buys_recursive` / :func:`buys_recursive_rewriting` --
+  Example 1.1's knows/buys program, which is inherently recursive.
+* :func:`transitive_closure` -- Example 2.5 (Figures 1 and 2).
+* :func:`dist` -- Example 6.1: ``dist_n`` holds for paths of length
+  exactly 2^n; its unfolding is a single conjunctive query with 2^n
+  atoms (exponential succinctness of nonrecursive programs).
+* :func:`dist_le` -- Example 6.2: paths of length at most 2^n, with
+  the empty-body rules of the paper.
+* :func:`equal` -- Example 6.3: pairs of equally-labeled paths of
+  length 2^n.
+* :func:`word` -- Example 6.6: a *linear* nonrecursive program whose
+  unfolding has exponentially many disjuncts, each of size O(n).
+* :func:`chain_program`, :func:`widget_supply_chain` -- parametrized
+  families for scaling benchmarks and examples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..datalog.parser import parse_program
+from ..datalog.program import Program
+
+
+def buys_bounded() -> Program:
+    """Example 1.1, program Pi_1 (equivalent to a nonrecursive one)."""
+    return parse_program(
+        """
+        buys(X, Y) :- likes(X, Y).
+        buys(X, Y) :- trendy(X), buys(Z, Y).
+        """
+    )
+
+
+def buys_bounded_rewriting() -> Program:
+    """Example 1.1's nonrecursive rewriting of Pi_1."""
+    return parse_program(
+        """
+        buys(X, Y) :- likes(X, Y).
+        buys(X, Y) :- trendy(X), likes(Z, Y).
+        """
+    )
+
+
+def buys_recursive() -> Program:
+    """Example 1.1, program Pi_2 (inherently recursive)."""
+    return parse_program(
+        """
+        buys(X, Y) :- likes(X, Y).
+        buys(X, Y) :- knows(X, Z), buys(Z, Y).
+        """
+    )
+
+
+def buys_recursive_rewriting() -> Program:
+    """The nonrecursive program Example 1.1 shows Pi_2 is NOT
+    equivalent to."""
+    return parse_program(
+        """
+        buys(X, Y) :- likes(X, Y).
+        buys(X, Y) :- knows(X, Z), likes(Z, Y).
+        """
+    )
+
+
+def transitive_closure() -> Program:
+    """Example 2.5: the transitive-closure program of Figures 1-2.
+
+    ``e`` is the edge relation and ``e0`` the base relation (the
+    paper's e'); the goal is ``p``.
+    """
+    return parse_program(
+        """
+        p(X, Y) :- e(X, Z), p(Z, Y).
+        p(X, Y) :- e0(X, Y).
+        """
+    )
+
+
+def plain_transitive_closure() -> Program:
+    """Transitive closure over a single edge relation (both rules on
+    ``e``); unbounded, used by benchmarks."""
+    return parse_program(
+        """
+        p(X, Y) :- e(X, Z), p(Z, Y).
+        p(X, Y) :- e(X, Y).
+        """
+    )
+
+
+def dist(n: int) -> Program:
+    """Example 6.1: ``dist_i(x, y)`` iff a path of length 2^i links x
+    to y.  Nonrecursive; goal ``distN`` where N = *n*."""
+    rules: List[str] = [f"dist0(X, Y) :- e(X, Y)."]
+    for i in range(1, n + 1):
+        rules.append(f"dist{i}(X, Y) :- dist{i-1}(X, Z), dist{i-1}(Z, Y).")
+    return parse_program("\n".join(rules))
+
+
+def dist_le(n: int) -> Program:
+    """Example 6.2: ``dist{i}(x, y)`` iff a path of length at most 2^i,
+    ``distlt{i}`` for length at most 2^i - 1.  Uses the paper's
+    empty-body rules."""
+    rules: List[str] = [
+        "dist0(X, Y) :- e(X, Y).",
+        "dist0(X, X) :- .",
+        "distlt0(X, X) :- .",
+    ]
+    for i in range(1, n + 1):
+        rules.append(f"dist{i}(X, Y) :- dist{i-1}(X, Z), dist{i-1}(Z, Y).")
+        rules.append(f"distlt{i}(X, Y) :- distlt{i-1}(X, Z), dist{i-1}(Z, Y).")
+    return parse_program("\n".join(rules))
+
+
+def equal(n: int) -> Program:
+    """Example 6.3: ``equal_i(x, y, u, v)`` iff there are paths of
+    length 2^i from x to y and from u to v with equal node labels
+    (except possibly the endpoints)."""
+    rules: List[str] = [
+        "equal0(X, Y, U, V) :- e(X, Y), e(U, V), zero(X), zero(U).",
+        "equal0(X, Y, U, V) :- e(X, Y), e(U, V), one(X), one(U).",
+    ]
+    for i in range(1, n + 1):
+        rules.append(
+            f"equal{i}(X, Y, U, V) :- equal{i-1}(X, X1, U, U1), "
+            f"equal{i-1}(X1, Y, U1, V)."
+        )
+    return parse_program("\n".join(rules))
+
+
+def word(n: int) -> Program:
+    """Example 6.6: a linear nonrecursive program recognizing labeled
+    paths of length n; unfolds to 2^n disjuncts of size O(n)."""
+    rules: List[str] = [
+        "word1(X, Y) :- e(X, Y), zero(X).",
+        "word1(X, Y) :- e(X, Y), one(X).",
+    ]
+    for i in range(2, n + 1):
+        rules.append(f"word{i}(X, Y) :- word{i-1}(X, Z), e(Z, Y), zero(Y).")
+        rules.append(f"word{i}(X, Y) :- word{i-1}(X, Z), e(Z, Y), one(Y).")
+    return parse_program("\n".join(rules))
+
+
+def chain_program(width: int) -> Program:
+    """A linear recursive program whose recursive rule carries *width*
+    extra EDB atoms; scales the automata constructions for benchmarks.
+
+    ``width=1`` is plain transitive closure with a guard.
+    """
+    guards = ", ".join(f"g{j}(X, Z)" for j in range(width))
+    return parse_program(
+        f"""
+        p(X, Y) :- {guards}, p(Z, Y).
+        p(X, Y) :- e0(X, Y).
+        """
+    )
+
+
+def nonlinear_reach(n_base: int = 1) -> Program:
+    """A nonlinear (doubling) reachability program: proof trees are
+    genuinely branching, exercising the tree pathway."""
+    return parse_program(
+        """
+        p(X, Y) :- p(X, Z), p(Z, Y).
+        p(X, Y) :- e(X, Y).
+        """
+    )
+
+
+def same_generation() -> Program:
+    """The classic same-generation program (nonlinear, unbounded)."""
+    return parse_program(
+        """
+        sg(X, Y) :- flat(X, Y).
+        sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+        """
+    )
+
+
+def widget_supply_chain() -> Program:
+    """A domain example for the docs: parts reachability through a
+    bill-of-materials, with a bounded 'certified supplier' variant."""
+    return parse_program(
+        """
+        needs(X, Y) :- part(X, Y).
+        needs(X, Y) :- part(X, Z), needs(Z, Y).
+        """
+    )
+
+
+def widget_certified() -> Program:
+    """Bounded variant: a certified assembly depends only on whether
+    some certified supplier exists (mirrors Example 1.1's pattern)."""
+    return parse_program(
+        """
+        ok(X, Y) :- direct(X, Y).
+        ok(X, Y) :- blanket(X), ok(Z, Y).
+        """
+    )
+
+
+def widget_certified_rewriting() -> Program:
+    """Nonrecursive rewriting of :func:`widget_certified`."""
+    return parse_program(
+        """
+        ok(X, Y) :- direct(X, Y).
+        ok(X, Y) :- blanket(X), direct(Z, Y).
+        """
+    )

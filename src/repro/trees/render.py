@@ -1,0 +1,61 @@
+"""ASCII rendering of expansion and proof trees (Figures 1 and 2).
+
+The paper's figures show expansion trees with each node displaying its
+goal atom and rule instance.  :func:`render_tree` reproduces that
+layout as indented text; :func:`render_figure` places two trees side by
+side the way Figures 1 and 2 do.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .expansion import ExpansionTree
+
+
+def render_tree(tree: ExpansionTree, show_rules: bool = True) -> str:
+    """Indented rendering, one node per line.
+
+    With ``show_rules`` each node shows ``goal  <-  body``, matching
+    the labels ``(alpha_x, rho_x)`` of Section 2.3; otherwise only the
+    goal atom is shown.
+    """
+    lines: List[str] = []
+
+    def walk(node: ExpansionTree, prefix: str, is_last: bool, is_root: bool) -> None:
+        if show_rules:
+            body = ", ".join(str(a) for a in node.rule.body) or "true"
+            label = f"{node.atom}  <-  {body}"
+        else:
+            label = str(node.atom)
+        if is_root:
+            lines.append(label)
+            child_prefix = ""
+        else:
+            connector = "`-- " if is_last else "|-- "
+            lines.append(f"{prefix}{connector}{label}")
+            child_prefix = prefix + ("    " if is_last else "|   ")
+        for index, child in enumerate(node.children):
+            walk(child, child_prefix, index == len(node.children) - 1, False)
+
+    walk(tree, "", True, True)
+    return "\n".join(lines)
+
+
+def render_figure(left: ExpansionTree, right: ExpansionTree,
+                  left_title: str, right_title: str,
+                  show_rules: bool = True, gap: int = 6) -> str:
+    """Two trees side by side with captions (Figures 1 and 2 layout)."""
+    left_lines = [left_title, "~" * len(left_title)] + render_tree(
+        left, show_rules=show_rules
+    ).splitlines()
+    right_lines = [right_title, "~" * len(right_title)] + render_tree(
+        right, show_rules=show_rules
+    ).splitlines()
+    width = max(len(line) for line in left_lines)
+    height = max(len(left_lines), len(right_lines))
+    left_lines += [""] * (height - len(left_lines))
+    right_lines += [""] * (height - len(right_lines))
+    return "\n".join(
+        f"{l.ljust(width + gap)}{r}".rstrip() for l, r in zip(left_lines, right_lines)
+    )

@@ -1,0 +1,162 @@
+"""Strong containment mappings (Definition 5.4), by brute force.
+
+A strong containment mapping from a conjunctive query theta to a proof
+tree tau is a containment mapping that (a) sends distinguished
+occurrences of theta to distinguished occurrences of tau and (b) sends
+all occurrences of one theta-variable to *connected* occurrences of one
+tau-variable.
+
+This module decides existence by backtracking over the EDB atom
+occurrences of the proof tree.  It is exponential and serves as the
+ground-truth oracle against which the automaton of Proposition 5.10 is
+differentially tested (Corollary 5.7 / Theorem 5.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..cq.query import ConjunctiveQuery
+from ..datalog.atoms import Atom
+from ..datalog.errors import ValidationError
+from ..datalog.program import Program
+from ..datalog.terms import Term, Variable, is_variable
+from .expansion import ExpansionTree
+from .proof import NodePath, OccurrenceClasses
+
+
+@dataclass(frozen=True)
+class _TargetAtom:
+    """An EDB atom occurrence: the atom plus the node it lives in."""
+
+    path: NodePath
+    atom: Atom
+
+
+def _edb_targets(tree: ExpansionTree, program: Program) -> List[_TargetAtom]:
+    targets: List[_TargetAtom] = []
+
+    def walk(node: ExpansionTree, path: NodePath) -> None:
+        for atom in program.edb_atoms_of(node.rule):
+            targets.append(_TargetAtom(path, atom))
+        for index, child in enumerate(node.children):
+            walk(child, path + (index,))
+
+    walk(tree, ())
+    return targets
+
+
+# The image of a theta-variable: either a constant, or a tree variable
+# together with its connectedness class representative.
+_Image = Tuple[str, object]
+
+
+def _variable_image(classes: OccurrenceClasses, path: NodePath, term: Term) -> _Image:
+    if is_variable(term):
+        return ("var", (term, classes.class_of(path, term)))
+    return ("const", term)
+
+
+def find_strong_containment_mapping(
+    theta: ConjunctiveQuery, tree: ExpansionTree, program: Program
+) -> Optional[Dict[Variable, _Image]]:
+    """A strong containment mapping from *theta* to proof tree *tree*,
+    or None.  The returned dict maps each theta-variable to its image:
+    ``("const", c)`` or ``("var", (v, class_representative))``.
+    """
+    for atom in theta.body:
+        if atom.predicate in program.idb_predicates:
+            raise ValidationError(
+                f"query atom {atom} uses IDB predicate {atom.predicate!r}; "
+                "containment queries must be over EDB predicates"
+            )
+    classes = OccurrenceClasses(tree)
+    root_atom = tree.atom
+
+    # Seed: the head of theta maps positionally onto the root atom; by
+    # construction those images are distinguished occurrences.
+    if theta.head.arity != root_atom.arity:
+        return None
+    assignment: Dict[Variable, _Image] = {}
+    for term, target in zip(theta.head.args, root_atom.args):
+        image = _variable_image(classes, (), target)
+        if is_variable(term):
+            known = assignment.get(term)
+            if known is None:
+                assignment[term] = image
+            elif known != image:
+                return None
+        else:
+            # A head constant must match the root atom exactly.
+            if image != ("const", term):
+                return None
+
+    targets = _edb_targets(tree, program)
+    by_predicate: Dict[str, List[_TargetAtom]] = {}
+    for target in targets:
+        by_predicate.setdefault(target.atom.predicate, []).append(target)
+
+    atoms = sorted(theta.body, key=lambda a: len(by_predicate.get(a.predicate, ())))
+
+    def extend(atom: Atom, target: _TargetAtom,
+               current: Dict[Variable, _Image]) -> Optional[Dict[Variable, _Image]]:
+        if atom.arity != target.atom.arity:
+            return None
+        extended = dict(current)
+        for term, image_term in zip(atom.args, target.atom.args):
+            image = _variable_image(classes, target.path, image_term)
+            if is_variable(term):
+                known = extended.get(term)
+                if known is None:
+                    extended[term] = image
+                elif known != image:
+                    return None
+            else:
+                if image != ("const", term):
+                    return None
+        return extended
+
+    def search(index: int, current: Dict[Variable, _Image]) -> Optional[Dict[Variable, _Image]]:
+        if index == len(atoms):
+            return current
+        for target in by_predicate.get(atoms[index].predicate, ()):
+            extended = extend(atoms[index], target, current)
+            if extended is not None:
+                result = search(index + 1, extended)
+                if result is not None:
+                    return result
+        return None
+
+    return search(0, assignment)
+
+
+def has_strong_containment_mapping(theta: ConjunctiveQuery, tree: ExpansionTree,
+                                   program: Program) -> bool:
+    """Existence test for Definition 5.4."""
+    return find_strong_containment_mapping(theta, tree, program) is not None
+
+
+def ucq_covers_proof_tree(union, tree: ExpansionTree, program: Program) -> bool:
+    """Theorem 5.8 condition for one proof tree: some disjunct of the
+    union admits a strong containment mapping to *tree*."""
+    return any(has_strong_containment_mapping(theta, tree, program) for theta in union)
+
+
+def brute_force_contained(program: Program, goal: str, union, max_height: int,
+                          root_args=None) -> Tuple[bool, Optional[ExpansionTree]]:
+    """Check the Theorem 5.8 condition over all proof trees up to a
+    height bound.
+
+    Returns ``(ok, witness)`` where *witness* is a proof tree admitting
+    no strong mapping (a genuine non-containment certificate), or None
+    when all inspected trees are covered.  A True answer is only valid
+    up to the height bound -- this is the brute-force oracle used in
+    differential tests, not a decision procedure.
+    """
+    from .proof import proof_trees
+
+    for tree in proof_trees(program, goal, max_height, root_args=root_args):
+        if not ucq_covers_proof_tree(union, tree, program):
+            return False, tree
+    return True, None

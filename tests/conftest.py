@@ -1,0 +1,88 @@
+"""Shared fixtures and generators for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+
+
+@pytest.fixture
+def tc_program():
+    """Example 2.5: transitive closure with distinct base relation."""
+    return parse_program(
+        """
+        p(X, Y) :- e(X, Z), p(Z, Y).
+        p(X, Y) :- e0(X, Y).
+        """
+    )
+
+
+@pytest.fixture
+def buys1():
+    """Example 1.1 Pi_1 (bounded)."""
+    return parse_program(
+        """
+        buys(X, Y) :- likes(X, Y).
+        buys(X, Y) :- trendy(X), buys(Z, Y).
+        """
+    )
+
+
+@pytest.fixture
+def buys1_nr():
+    return parse_program(
+        """
+        buys(X, Y) :- likes(X, Y).
+        buys(X, Y) :- trendy(X), likes(Z, Y).
+        """
+    )
+
+
+@pytest.fixture
+def buys2():
+    """Example 1.1 Pi_2 (inherently recursive)."""
+    return parse_program(
+        """
+        buys(X, Y) :- likes(X, Y).
+        buys(X, Y) :- knows(X, Z), buys(Z, Y).
+        """
+    )
+
+
+@pytest.fixture
+def buys2_nr():
+    return parse_program(
+        """
+        buys(X, Y) :- likes(X, Y).
+        buys(X, Y) :- knows(X, Z), likes(Z, Y).
+        """
+    )
+
+
+def random_database(rng: random.Random, predicates, constants=("a", "b", "c"),
+                    max_facts: int = 6) -> Database:
+    """A small random database over the given (name, arity) pairs."""
+    db = Database()
+    for predicate, arity in predicates:
+        for _ in range(rng.randint(0, max_facts)):
+            db.add(predicate, tuple(rng.choice(constants) for _ in range(arity)))
+    return db
+
+
+def random_graph_database(rng: random.Random, nodes: int = 5,
+                          edge_prob: float = 0.4,
+                          edge_pred: str = "e") -> Database:
+    """A random directed graph as a database."""
+    db = Database()
+    names = [f"n{i}" for i in range(nodes)]
+    for a in names:
+        for b in names:
+            if rng.random() < edge_prob:
+                db.add(edge_pred, (a, b))
+    if len(db) == 0:
+        db.add(edge_pred, (names[0], names[min(1, nodes - 1)]))
+    return db

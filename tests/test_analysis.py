@@ -1,0 +1,136 @@
+"""Dependence-graph analysis tests (Section 2.1 definitions)."""
+
+import pytest
+
+from repro.datalog.analysis import (
+    dependence_graph,
+    is_linear,
+    is_nonrecursive,
+    is_recursive,
+    max_idb_body_atoms,
+    reachable_predicates,
+    recursive_body_atoms,
+    recursive_predicates,
+    slice_for_goal,
+    strongly_connected_components,
+    topological_order,
+)
+from repro.datalog.errors import NotNonrecursiveError
+from repro.datalog.parser import parse_program
+from repro.programs import dist, transitive_closure, word
+
+
+class TestDependenceGraph:
+    def test_edges(self):
+        program = transitive_closure()
+        graph = dependence_graph(program)
+        assert graph["p"] == {"e", "p", "e0"}
+        assert graph["e"] == frozenset()
+
+    def test_recursive_detection(self):
+        assert is_recursive(transitive_closure())
+        assert not is_recursive(dist(3))
+        assert is_nonrecursive(dist(3))
+
+    def test_mutual_recursion_detected(self):
+        program = parse_program(
+            """
+            a(X) :- b(X).
+            b(X) :- a(X).
+            a(X) :- base(X).
+            """
+        )
+        assert is_recursive(program)
+        assert recursive_predicates(program) == {"a", "b"}
+
+    def test_self_loop(self):
+        program = parse_program("p(X) :- p(X).")
+        assert recursive_predicates(program) == {"p"}
+
+    def test_no_false_positive_on_diamond(self):
+        program = parse_program(
+            """
+            top(X) :- left(X), right(X).
+            left(X) :- base(X).
+            right(X) :- base(X).
+            """
+        )
+        assert is_nonrecursive(program)
+
+    def test_sccs_in_callee_first_order(self):
+        program = dist(2)
+        components = strongly_connected_components(program)
+        order = [next(iter(c)) for c in components]
+        assert order.index("e") < order.index("dist0") < order.index("dist2")
+
+
+class TestLinearity:
+    def test_tc_is_linear(self):
+        assert is_linear(transitive_closure())
+
+    def test_nonlinear(self):
+        program = parse_program(
+            """
+            p(X, Y) :- p(X, Z), p(Z, Y).
+            p(X, Y) :- e(X, Y).
+            """
+        )
+        assert not is_linear(program)
+
+    def test_nonrecursive_is_linear(self):
+        assert is_linear(dist(2))
+        assert is_linear(word(3))
+
+    def test_nonrecursive_idb_subgoal_does_not_break_linearity(self):
+        # 'aux' is IDB but not recursive, so two aux subgoals are fine.
+        program = parse_program(
+            """
+            p(X, Y) :- aux(X, Z), aux(Z, W), p(W, Y).
+            p(X, Y) :- e(X, Y).
+            aux(X, Y) :- f(X, Y).
+            """
+        )
+        assert is_linear(program)
+
+    def test_recursive_body_atoms(self):
+        program = parse_program(
+            """
+            p(X, Y) :- e(X, Z), p(Z, Y), q(Z).
+            q(X) :- g(X).
+            p(X, Y) :- e0(X, Y).
+            """
+        )
+        assert recursive_body_atoms(program, program.rules[0]) == (1,)
+
+
+class TestTopologicalOrder:
+    def test_order_respects_dependencies(self):
+        program = dist(3)
+        order = topological_order(program)
+        assert order.index("dist0") < order.index("dist1") < order.index("dist3")
+
+    def test_rejects_recursive(self):
+        with pytest.raises(NotNonrecursiveError):
+            topological_order(transitive_closure())
+
+
+class TestSlicing:
+    def test_slice_keeps_reachable_rules(self):
+        program = parse_program(
+            """
+            goal(X) :- mid(X).
+            mid(X) :- base(X).
+            unrelated(X) :- other(X).
+            """
+        )
+        sliced = slice_for_goal(program, "goal")
+        assert sliced.idb_predicates == {"goal", "mid"}
+
+    def test_reachable_predicates(self):
+        program = dist(2)
+        assert "e" in reachable_predicates(program, "dist2")
+        assert "dist0" in reachable_predicates(program, "dist2")
+
+    def test_max_idb_body_atoms(self):
+        assert max_idb_body_atoms(transitive_closure()) == 1
+        assert max_idb_body_atoms(dist(2)) == 2

@@ -1,0 +1,105 @@
+"""Unit tests for atoms and rules."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, atoms_constants, atoms_variables, make_atom
+from repro.datalog.parser import parse_atom, parse_rule
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, FreshVariableFactory, Variable
+
+
+class TestAtom:
+    def test_make_atom_conventions(self):
+        atom = make_atom("p", "X", "a", 3)
+        assert atom.args == (Variable("X"), Constant("a"), Constant(3))
+
+    def test_arity(self):
+        assert make_atom("p", "X", "Y").arity == 2
+        assert make_atom("p").arity == 0
+
+    def test_variables_with_repeats(self):
+        atom = make_atom("p", "X", "X", "Y")
+        assert atom.variables() == (Variable("X"), Variable("X"), Variable("Y"))
+        assert atom.variable_set() == {Variable("X"), Variable("Y")}
+
+    def test_constants(self):
+        atom = make_atom("p", "X", "a")
+        assert atom.constants() == {Constant("a")}
+
+    def test_is_ground(self):
+        assert make_atom("p", "a", "b").is_ground()
+        assert not make_atom("p", "X").is_ground()
+        assert make_atom("p").is_ground()
+
+    def test_substitute(self):
+        atom = make_atom("p", "X", "Y", "a")
+        result = atom.substitute({Variable("X"): Constant("c")})
+        assert result == make_atom("p", "c", "Y", "a")
+
+    def test_substitute_to_variable(self):
+        atom = make_atom("p", "X")
+        assert atom.substitute({Variable("X"): Variable("Z")}) == make_atom("p", "Z")
+
+    def test_str_roundtrip(self):
+        atom = make_atom("edge", "X", "b")
+        assert parse_atom(str(atom)) == atom
+
+    def test_zero_ary_str(self):
+        assert str(make_atom("goal")) == "goal"
+
+    def test_helpers(self):
+        atoms = [make_atom("p", "X", "a"), make_atom("q", "Y")]
+        assert atoms_variables(atoms) == {Variable("X"), Variable("Y")}
+        assert atoms_constants(atoms) == {Constant("a")}
+
+
+class TestRule:
+    def test_parse_and_str_roundtrip(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        assert parse_rule(str(rule)) == rule
+
+    def test_empty_body(self):
+        rule = parse_rule("p(X, X).")
+        assert rule.body == ()
+        assert not rule.is_safe
+
+    def test_empty_body_with_neck(self):
+        assert parse_rule("p(X, X) :- .").body == ()
+
+    def test_safety(self):
+        assert parse_rule("p(X) :- e(X, Y).").is_safe
+        assert not parse_rule("p(X, W) :- e(X, Y).").is_safe
+
+    def test_is_fact(self):
+        assert parse_rule("p(a, b).").is_fact
+        assert not parse_rule("p(X).").is_fact
+        assert not parse_rule("p(a) :- e(a).").is_fact
+
+    def test_variables(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z).")
+        assert rule.variables() == {Variable("X"), Variable("Y"), Variable("Z")}
+        assert rule.body_variables() == {Variable("X"), Variable("Z")}
+
+    def test_rename_apart_is_fresh_and_structure_preserving(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        renamed = rule.rename_apart(FreshVariableFactory(prefix="F"))
+        assert renamed.variables().isdisjoint(rule.variables())
+        assert renamed.head.predicate == "p"
+        assert len(renamed.body) == 2
+        # Shared-variable structure is preserved.
+        assert renamed.head.args[0] == renamed.body[0].args[0]
+        assert renamed.body[0].args[1] == renamed.body[1].args[0]
+
+    def test_idb_edb_split(self):
+        rule = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y), q(Z).")
+        assert [a.predicate for a in rule.idb_body_atoms({"p", "q"})] == ["p", "q"]
+        assert [a.predicate for a in rule.edb_body_atoms({"p", "q"})] == ["e"]
+
+    def test_substitute_applies_to_head_and_body(self):
+        rule = parse_rule("p(X) :- e(X, Y).")
+        result = rule.substitute({Variable("X"): Constant("a")})
+        assert result == parse_rule("p(a) :- e(a, Y).")
+
+    def test_constants(self):
+        rule = parse_rule("p(X) :- e(X, a), f(b).")
+        assert rule.constants() == {Constant("a"), Constant("b")}

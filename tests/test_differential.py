@@ -1,0 +1,106 @@
+"""Randomized differential testing of the containment decision.
+
+For randomly generated small recursive programs and candidate unions:
+
+* whenever the automata procedure answers NO, the witness proof tree
+  must be genuine (no strong mapping from any disjunct) and must
+  convert into a refuting database;
+* whenever it answers YES, no random database may refute it, and the
+  brute-force proof-tree sweep (up to a height bound) must agree;
+* the word pathway must agree with the tree pathway on chain programs.
+"""
+
+import random
+
+import pytest
+
+from repro.core.containment import counterexample_database
+from repro.core.tree_containment import datalog_contained_in_ucq
+from repro.core.word_path import datalog_contained_in_ucq_linear, is_chain_program
+from repro.cq.canonical import evaluate_ucq
+from repro.cq.query import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.datalog.atoms import Atom
+from repro.datalog.engine import evaluate
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Variable
+from repro.datalog.unfold import expansion_union
+from repro.trees.strong import brute_force_contained, ucq_covers_proof_tree
+
+from .conftest import random_database
+
+EDB = [("e", 2), ("f", 2), ("g", 1)]
+
+
+def random_program(rng: random.Random):
+    """A small linear recursive program over e/f/g with goal p/2."""
+    variables = [Variable(v) for v in ("X", "Y", "Z")]
+
+    def random_edb_atom():
+        predicate, arity = rng.choice(EDB)
+        return Atom(predicate, tuple(rng.choice(variables) for _ in range(arity)))
+
+    base_body = tuple(random_edb_atom() for _ in range(rng.randint(1, 2)))
+    # Ensure safety of the base rule.
+    base_body = base_body + (Atom("e", (Variable("X"), Variable("Y"))),)
+    recursive_body = (
+        random_edb_atom(),
+        Atom("p", (rng.choice(variables), Variable("Y"))),
+    )
+    from repro.datalog.rules import Rule
+
+    rules = [
+        Rule(Atom("p", (Variable("X"), Variable("Y"))), base_body),
+        Rule(Atom("p", (Variable("X"), Variable("Y"))), recursive_body),
+    ]
+    from repro.datalog.program import Program
+
+    return Program(rules)
+
+
+def random_union(rng: random.Random, program) -> UnionOfConjunctiveQueries:
+    """Either a truncation union (possibly contained) or random CQs."""
+    if rng.random() < 0.5:
+        return expansion_union(program, "p", rng.randint(1, 2))
+    variables = [Variable(v) for v in ("X0", "X1", "A", "B")]
+    disjuncts = []
+    for _ in range(rng.randint(1, 3)):
+        body = []
+        for _ in range(rng.randint(1, 2)):
+            predicate, arity = rng.choice(EDB)
+            body.append(
+                Atom(predicate, tuple(rng.choice(variables) for _ in range(arity)))
+            )
+        disjuncts.append(
+            ConjunctiveQuery(Atom("p", (Variable("X0"), Variable("X1"))), tuple(body))
+        )
+    return UnionOfConjunctiveQueries(disjuncts, arity=2)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_differential_containment(seed):
+    rng = random.Random(seed)
+    program = random_program(rng)
+    union = random_union(rng, program)
+
+    result = datalog_contained_in_ucq(program, "p", union)
+
+    if not result.contained:
+        # The witness is genuine by Theorem 5.8 ...
+        assert not ucq_covers_proof_tree(union, result.witness, program)
+        # ... and semantically refuting (safe programs only).
+        if all(rule.is_safe for rule in program.rules):
+            db, row = counterexample_database(result, program)
+            assert row in evaluate(program, db).facts("p")
+            assert row not in evaluate_ucq(union, db)
+    else:
+        # Brute force over proof trees up to height 3 must agree.
+        ok, _ = brute_force_contained(program, "p", union, max_height=2)
+        assert ok
+        # No random database refutes the containment.
+        for _ in range(10):
+            db = random_database(rng, EDB, constants=("a", "b", "c"))
+            assert evaluate(program, db).facts("p") <= evaluate_ucq(union, db)
+
+    if is_chain_program(program):
+        word = datalog_contained_in_ucq_linear(program, "p", union)
+        assert word.contained == result.contained

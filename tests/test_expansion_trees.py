@@ -1,0 +1,112 @@
+"""Expansion-tree tests (Section 2.3, Figure 1, Proposition 2.6)."""
+
+import random
+
+import pytest
+
+from repro.cq.canonical import evaluate_cq
+from repro.datalog.engine import query
+from repro.datalog.errors import ValidationError
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.rules import Rule
+from repro.trees.expansion import ExpansionTree, expansion_queries, unfolding_trees
+from repro.trees.render import render_figure, render_tree
+
+from .conftest import random_graph_database
+
+
+class TestStructure:
+    def test_node_requires_matching_head(self, tc_program):
+        rule = parse_rule("p(X, Y) :- e0(X, Y).")
+        with pytest.raises(ValidationError):
+            ExpansionTree(parse_rule("p(A, B) :- e0(A, B).").head, rule)
+
+    def test_validate_accepts_generated_trees(self, tc_program):
+        for tree in unfolding_trees(tc_program, "p", 3):
+            tree.validate(tc_program)
+
+    def test_validate_rejects_non_instance(self, tc_program):
+        bogus = parse_rule("p(X, Y) :- weird(X, Y).")
+        tree = ExpansionTree(bogus.head, bogus)
+        with pytest.raises(ValidationError):
+            tree.validate(tc_program)
+
+    def test_validate_rejects_wrong_children(self, tc_program):
+        rule = parse_rule("p(X, Y) :- e(X, Z), p(Z, Y).")
+        leaf_rule = parse_rule("p(A, B) :- e0(A, B).")
+        leaf = ExpansionTree(leaf_rule.head, leaf_rule)
+        tree = ExpansionTree(rule.head, rule, (leaf,))  # child atom mismatch
+        with pytest.raises(ValidationError):
+            tree.validate(tc_program)
+
+    def test_height_and_size(self, tc_program):
+        trees = {t.height(): t for t in unfolding_trees(tc_program, "p", 3)}
+        assert set(trees) == {1, 2, 3}
+        assert trees[3].size() == 3
+
+    def test_query_of_tree(self, tc_program):
+        tree = next(t for t in unfolding_trees(tc_program, "p", 2) if t.height() == 2)
+        q = tree.to_query(tc_program)
+        predicates = [a.predicate for a in q.body]
+        assert predicates == ["e", "e0"]
+        assert q.head.predicate == "p"
+
+
+class TestFreshness:
+    def test_unfolding_uses_fresh_variables(self, tc_program):
+        # Definition 2.4 (b): body variables not in the node's atom are
+        # new -- the e-atoms of a deep chain all use distinct middles.
+        deep = next(t for t in unfolding_trees(tc_program, "p", 4) if t.height() == 4)
+        q = deep.to_query(tc_program)
+        middles = [a.args[1] for a in q.body if a.predicate == "e"]
+        assert len(set(middles)) == len(middles)
+
+    def test_repeated_head_variable_rule(self):
+        program = parse_program(
+            """
+            p(X, Y) :- e(X, Z), q(Z, Y).
+            q(W, W) :- loop(W).
+            """
+        )
+        trees = list(unfolding_trees(program, "p", 2))
+        full = [t for t in trees if t.height() == 2]
+        assert len(full) == 1
+        q = full[0].to_query(program)
+        # Unifying q(Z, Y) with q(W, W) forces Z = Y in the whole tree.
+        e_atom = next(a for a in q.body if a.predicate == "e")
+        loop_atom = next(a for a in q.body if a.predicate == "loop")
+        assert e_atom.args[1] == loop_atom.args[0]
+
+
+class TestSemantics:
+    def test_proposition_2_6(self, tc_program):
+        # union of expansion-tree queries == engine fixpoint (heights
+        # large enough for the database diameter).
+        rng = random.Random(2)
+        for _ in range(5):
+            db = random_graph_database(rng, nodes=4)
+            for a, b in list(db.relation("e"))[:2]:
+                db.add("e0", (a, b))
+            union_rows = set()
+            for q in expansion_queries(tc_program, "p", 6):
+                union_rows |= evaluate_cq(q, db)
+            assert union_rows == query(tc_program, db, "p")
+
+
+class TestRendering:
+    def test_figure1_layout(self, tc_program):
+        trees = sorted(unfolding_trees(tc_program, "p", 2), key=lambda t: t.height())
+        text = render_figure(
+            trees[1], trees[0], "(a) expansion tree", "(b) base tree"
+        )
+        assert "(a) expansion tree" in text and "(b) base tree" in text
+        assert "p(X0, X1)" in text
+
+    def test_render_contains_rule_bodies(self, tc_program):
+        tree = next(t for t in unfolding_trees(tc_program, "p", 2) if t.height() == 2)
+        text = render_tree(tree)
+        assert "<-" in text and "e0(" in text
+
+    def test_render_goals_only(self, tc_program):
+        tree = next(iter(unfolding_trees(tc_program, "p", 1)))
+        assert "<-" not in render_tree(tree, show_rules=False)

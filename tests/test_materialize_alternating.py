@@ -1,0 +1,101 @@
+"""Tests for the Theorem 5.11 substrate cross-check and the
+alternating-machine encoding."""
+
+import pytest
+
+from repro.core.materialize import materialize_cq_automaton, theorem_5_11_via_substrate
+from repro.core.tree_containment import datalog_contained_in_ucq
+from repro.cq.query import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.datalog.analysis import is_linear, is_recursive
+from repro.datalog.parser import parse_atom
+from repro.lowerbounds.encoding_space import encode_alternating
+from repro.lowerbounds.turing import RIGHT, STAY, AlternatingTuringMachine
+
+
+def cq(head: str, *body: str) -> ConjunctiveQuery:
+    return ConjunctiveQuery(parse_atom(head), tuple(parse_atom(b) for b in body))
+
+
+class TestTheorem511Substrate:
+    """The specialized profile fixpoint must agree with the literal
+    tree-automata containment of Theorem 5.11."""
+
+    @pytest.mark.parametrize(
+        "disjuncts",
+        [
+            [("p(X0, X1)", ("e0(X0, X1)",))],
+            [("p(X0, X1)", ("e0(X0, X1)",)), ("p(X0, X1)", ("e(X0, Z)",))],
+            [("p(X0, X0)", ("e0(X0, X0)",))],
+            [("p(X0, X1)", ("e(X0, Z)", "e0(Z, X1)"))],
+        ],
+    )
+    def test_agreement(self, tc_program, disjuncts):
+        union = UnionOfConjunctiveQueries(
+            [cq(h, *b) for h, b in disjuncts], arity=2
+        )
+        substrate = theorem_5_11_via_substrate(tc_program, "p", union)
+        specialized = datalog_contained_in_ucq(tc_program, "p", union).contained
+        assert substrate == specialized
+
+    def test_materialized_automaton_runs(self, tc_program):
+        theta = cq("p(X0, X1)", "e0(X0, X1)")
+        automaton = materialize_cq_automaton(tc_program, "p", theta)
+        states, transitions = automaton.size()
+        assert states > 0 and transitions > 0
+        # It accepts some proof tree (the base-rule trees).
+        assert not automaton.is_empty()
+
+
+def tiny_alternating(universal: bool) -> AlternatingTuringMachine:
+    return AlternatingTuringMachine(
+        states=frozenset({"q0", "qa", "qr"}),
+        tape_symbols=frozenset({"b", "1"}),
+        blank="b",
+        initial_state="q0",
+        accepting_states=frozenset({"qa"}),
+        universal_states=frozenset({"q0"}) if universal else frozenset(),
+        left_transitions={("q0", "b"): ("qa", "1", STAY)},
+        right_transitions={("q0", "b"): ("qa", "b", RIGHT)},
+    )
+
+
+class TestAlternatingEncoding:
+    def test_universal_rule_makes_program_nonlinear(self):
+        enc = encode_alternating(tiny_alternating(universal=True), 2)
+        assert is_recursive(enc.program)
+        assert not is_linear(enc.program)
+
+    def test_existential_only_machine_stays_linear(self):
+        enc = encode_alternating(tiny_alternating(universal=False), 2)
+        assert is_linear(enc.program)
+
+    def test_error_families(self):
+        enc = encode_alternating(tiny_alternating(universal=True), 2)
+        assert "universal_mistagged" in enc.query_families
+        assert "existential_mistagged" in enc.query_families
+        assert "transition_left_successor" in enc.query_families
+        assert enc.union.arity == 0
+
+    def test_sizes_grow_with_n(self):
+        machine = tiny_alternating(universal=True)
+        sizes = [encode_alternating(machine, n).sizes() for n in (1, 2, 3)]
+        assert sizes[0]["program_rules"] < sizes[1]["program_rules"]
+        assert sizes[1]["program_rules"] < sizes[2]["program_rules"]
+
+    def test_arity_bounded(self):
+        # Bit: 7 arguments, A: 10 -- bounded arity, as the "real
+        # intractability" discussion requires.
+        enc = encode_alternating(tiny_alternating(universal=True), 3)
+        for predicate, arity in enc.program.arity.items():
+            assert arity <= 10
+
+    def test_expansions_exist(self):
+        from repro.trees.expansion import unfolding_trees
+
+        enc = encode_alternating(tiny_alternating(universal=True), 1)
+        trees = []
+        for tree in unfolding_trees(enc.program, "c", 4):
+            trees.append(tree)
+            if len(trees) >= 2:
+                break
+        assert trees

@@ -1,0 +1,114 @@
+"""Nonlinear-program tests for the Proposition 5.10 automaton.
+
+Nonlinear rules make the proof trees branch, exercising the transition
+conditions the linear tests cannot reach: distributing unmapped query
+atoms across several children (condition 3's image guessing for
+variables split over subtrees) and condition 4's flow-through checks.
+"""
+
+import pytest
+
+from repro.core.cq_automaton import CQAutomaton
+from repro.core.tree_containment import datalog_contained_in_ucq
+from repro.cq.query import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.datalog.parser import parse_atom, parse_program
+from repro.trees.proof import proof_trees
+from repro.trees.strong import brute_force_contained, has_strong_containment_mapping
+
+from .test_core_automata import _automaton_accepts
+
+
+def cq(head: str, *body: str) -> ConjunctiveQuery:
+    return ConjunctiveQuery(parse_atom(head), tuple(parse_atom(b) for b in body))
+
+
+@pytest.fixture(scope="module")
+def doubling():
+    """Nonlinear transitive closure: proof trees are binary."""
+    return parse_program(
+        """
+        p(X, Y) :- p(X, Z), p(Z, Y).
+        p(X, Y) :- e(X, Y).
+        """
+    )
+
+
+class TestNonlinearOracle:
+    def test_automaton_agrees_with_strong_mapping(self, doubling):
+        queries = [
+            cq("p(X0, X1)", "e(X0, X1)"),
+            cq("p(X0, X1)", "e(X0, M)", "e(M, X1)"),   # splits across children
+            cq("p(X0, X1)", "e(X0, M)"),
+            cq("p(X0, X1)", "e(M, M)"),
+            cq("p(X0, X0)", "e(X0, X0)"),
+        ]
+        trees = list(proof_trees(doubling, "p", 2))
+        assert trees
+        for theta in queries:
+            automaton = CQAutomaton(doubling, "p", theta)
+            for tree in trees:
+                expected = has_strong_containment_mapping(theta, tree, doubling)
+                got = _automaton_accepts(automaton, doubling, tree)
+                assert got == expected, (theta, str(tree))
+
+    def test_split_query_accepts_branching_tree(self, doubling):
+        """The 2-path query must map into the binary depth-2 proof tree
+        p(a,c) <- p(a,b), p(b,c) by sending one atom into each child --
+        the automaton has to GUESS the image of M (condition 3)."""
+        from repro.datalog.terms import Variable
+
+        a, b, c = (Variable(f"_pv{i}") for i in range(3))
+        theta = cq("p(X0, X1)", "e(X0, M)", "e(M, X1)")
+        automaton = CQAutomaton(doubling, "p", theta)
+        matching = [
+            t for t in proof_trees(doubling, "p", 2, root_args=(a, c))
+            if t.height() == 2 and len(t.children) == 2
+            and t.children[0].atom.args == (a, b)
+        ]
+        assert matching
+        tree = matching[0]
+        assert _automaton_accepts(automaton, doubling, tree)
+
+    def test_containment_decisions(self, doubling):
+        # covered: every expansion is an e-path out of X0.
+        assert datalog_contained_in_ucq(
+            doubling, "p", UnionOfConjunctiveQueries([cq("p(X0, X1)", "e(X0, M)")])
+        ).contained
+        # not covered: paths of length 3 escape {1, 2, 4}-unions.
+        union = UnionOfConjunctiveQueries(
+            [
+                cq("p(X0, X1)", "e(X0, X1)"),
+                cq("p(X0, X1)", "e(X0, A)", "e(A, X1)"),
+                cq("p(X0, X1)", "e(X0, A)", "e(A, B)", "e(B, C)", "e(C, X1)"),
+            ]
+        )
+        result = datalog_contained_in_ucq(doubling, "p", union)
+        assert not result.contained
+        # The witness must be a length-3 path expansion.
+        witness_query = result.witness.to_query(doubling)
+        assert len(witness_query.body) == 3
+
+    def test_brute_force_agreement(self, doubling):
+        union = UnionOfConjunctiveQueries(
+            [cq("p(X0, X1)", "e(X0, X1)"), cq("p(X0, X1)", "e(X0, A)", "e(A, X1)")]
+        )
+        auto = datalog_contained_in_ucq(doubling, "p", union).contained
+        brute, _ = brute_force_contained(doubling, "p", union, max_height=3)
+        assert auto == brute == False  # noqa: E712
+
+    def test_same_generation_containment(self):
+        sg = parse_program(
+            """
+            sg(X, Y) :- flat(X, Y).
+            sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+            """
+        )
+        # Every sg fact is witnessed by a flat edge somewhere.
+        assert datalog_contained_in_ucq(
+            sg, "sg", UnionOfConjunctiveQueries([cq("sg(X0, X1)", "flat(A, B)")])
+        ).contained
+        # But not by a flat edge incident to X0.
+        result = datalog_contained_in_ucq(
+            sg, "sg", UnionOfConjunctiveQueries([cq("sg(X0, X1)", "flat(X0, B)")])
+        )
+        assert not result.contained

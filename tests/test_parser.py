@@ -1,0 +1,123 @@
+"""Parser tests, including a hypothesis round-trip property."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datalog.atoms import Atom
+from repro.datalog.errors import ParseError
+from repro.datalog.parser import parse_atom, parse_program, parse_rule
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+
+
+class TestBasics:
+    def test_program(self):
+        program = parse_program(
+            """
+            % transitive closure
+            p(X, Y) :- e(X, Z), p(Z, Y).
+            p(X, Y) :- e0(X, Y).
+            """
+        )
+        assert len(program) == 2
+        assert program.idb_predicates == {"p"}
+        assert program.edb_predicates == {"e", "e0"}
+
+    def test_comments_both_styles(self):
+        program = parse_program("# one\np(X) :- e(X). % trailing\n% two\n")
+        assert len(program) == 1
+
+    def test_fact(self):
+        program = parse_program("edge(a, b).")
+        assert program.rules[0].is_fact
+
+    def test_integers_and_strings(self):
+        atom = parse_atom("p(1, -2, 'hello world', \"quoted\")")
+        assert atom.args == (
+            Constant(1),
+            Constant(-2),
+            Constant("hello world"),
+            Constant("quoted"),
+        )
+
+    def test_underscore_variable(self):
+        assert parse_atom("p(_x)").args == (Variable("_x"),)
+
+    def test_zero_ary_atom(self):
+        assert parse_atom("goal") == Atom("goal", ())
+        assert parse_rule("goal :- e(X).").head == Atom("goal", ())
+
+    def test_zero_ary_with_parens(self):
+        assert parse_atom("goal()") == Atom("goal", ())
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+
+    def test_whitespace_insensitive(self):
+        a = parse_program("p(X,Y):-e(X,Y).")
+        b = parse_program("p( X , Y ) :- e( X , Y ) .")
+        assert a.rules == b.rules
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "p(X, Y)",           # missing period
+            "p(X :- e(X).",      # unbalanced parens
+            "p(X)) :- e(X).",    # stray paren
+            ":- e(X).",          # missing head
+            "P(X) :- e(X).",     # uppercase predicate
+            "p('unterminated.",  # unterminated string
+            "p(X) :- e(X). extra",
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises(ParseError):
+            parse_program(source)
+
+    def test_error_carries_position(self):
+        try:
+            parse_program("p(X) :- e(X).\np(?) :- e(X).")
+        except ParseError as err:
+            assert err.line is not None
+        else:
+            pytest.fail("expected ParseError")
+
+    def test_atom_trailing_input(self):
+        with pytest.raises(ParseError):
+            parse_atom("p(X) q")
+
+
+_ident = st.from_regex(r"[a-z][a-z0-9_]{0,5}", fullmatch=True)
+_var = st.from_regex(r"[A-Z][a-z0-9]{0,3}", fullmatch=True)
+_term = st.one_of(
+    _var.map(Variable),
+    _ident.map(Constant),
+    st.integers(min_value=-99, max_value=99).map(Constant),
+)
+_atom = st.builds(
+    Atom, predicate=_ident, args=st.lists(_term, max_size=4).map(tuple)
+)
+_rule = st.builds(Rule, head=_atom, body=st.lists(_atom, max_size=4).map(tuple))
+
+
+class TestRoundTrip:
+    @given(_atom)
+    def test_atom_roundtrip(self, atom):
+        assert parse_atom(str(atom)) == atom
+
+    @given(_rule)
+    def test_rule_roundtrip(self, rule):
+        assert parse_rule(str(rule)) == rule
+
+    @given(st.lists(_rule, max_size=5))
+    def test_program_roundtrip(self, rules):
+        try:
+            program = Program(rules)
+        except Exception:
+            # Arity clashes between random rules are fine to skip.
+            return
+        assert parse_program(str(program)).rules == program.rules

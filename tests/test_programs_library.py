@@ -1,0 +1,110 @@
+"""Tests for the paper-programs library (Examples 1.1, 2.5, 6.1-6.6)."""
+
+import pytest
+
+from repro.datalog.analysis import is_linear, is_nonrecursive, is_recursive
+from repro.datalog.database import Database
+from repro.datalog.engine import query
+from repro.programs import (
+    buys_bounded,
+    buys_recursive,
+    chain_program,
+    dist,
+    dist_le,
+    equal,
+    nonlinear_reach,
+    plain_transitive_closure,
+    same_generation,
+    transitive_closure,
+    word,
+)
+
+
+def path_db(length: int, labels=None) -> Database:
+    db = Database()
+    for i in range(length):
+        db.add("e", (f"v{i}", f"v{i+1}"))
+    for i, label in enumerate(labels or []):
+        db.add("one" if label else "zero", (f"v{i}",))
+    return db
+
+
+class TestShapes:
+    def test_classifications(self):
+        assert is_recursive(transitive_closure()) and is_linear(transitive_closure())
+        assert is_recursive(buys_bounded()) and is_linear(buys_bounded())
+        assert is_recursive(nonlinear_reach()) and not is_linear(nonlinear_reach())
+        assert is_recursive(same_generation()) and is_linear(same_generation())
+        for n in (1, 3):
+            assert is_nonrecursive(dist(n))
+            assert is_nonrecursive(dist_le(n))
+            assert is_nonrecursive(equal(n))
+            assert is_nonrecursive(word(n))
+
+    def test_chain_program_width(self):
+        program = chain_program(3)
+        assert len(program.rules[0].body) == 4  # 3 guards + recursive call
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_dist_exact_powers(self, n):
+        length = 2 ** n + 2
+        db = path_db(length)
+        rows = {(a.value, b.value) for a, b in query(dist(n), db, f"dist{n}")}
+        expected = {
+            (f"v{i}", f"v{i + 2 ** n}") for i in range(length - 2 ** n + 1)
+        }
+        assert rows == expected
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_dist_le_at_most(self, n):
+        length = 2 ** n + 2
+        db = path_db(length)
+        rows = {(a.value, b.value) for a, b in query(dist_le(n), db, f"dist{n}")}
+        expected = {
+            (f"v{i}", f"v{j}")
+            for i in range(length + 1)
+            for j in range(i, min(i + 2 ** n, length) + 1)
+        }
+        assert rows == expected
+
+    def test_equal_matches_labels(self):
+        db = path_db(4, labels=[1, 0, 1, 0])
+        rows = {
+            tuple(c.value for c in row)
+            for row in query(equal(1), db, "equal1")
+        }
+        # Each path of length 2 pairs with itself...
+        assert ("v0", "v2", "v0", "v2") in rows
+        # ...and with the label-matching shifted copy (labels 1,0 at
+        # v0,v1 and v2,v3).
+        assert ("v0", "v2", "v2", "v4") in rows
+
+    def test_word_recognizes_labeled_paths(self):
+        # word_i labels the first node and then each target node.
+        db = path_db(3, labels=[1, 0, 1, 0])
+        rows = {(a.value, b.value) for a, b in query(word(3), db, "word3")}
+        assert ("v0", "v3") in rows
+
+    def test_tc_variants_agree_on_edges(self):
+        db = path_db(4)
+        for a, b in list(db.relation("e")):
+            db.add("e0", (a, b))
+        plain = query(plain_transitive_closure(), db, "p")
+        with_base = query(transitive_closure(), db, "p")
+        assert plain == with_base
+
+    def test_buys_programs(self):
+        db = Database.from_facts(
+            [
+                ("likes", ("ann", "hats")),
+                ("trendy", ("bob",)),
+                ("knows", ("cat", "ann")),
+            ]
+        )
+        bounded = {(a.value, b.value) for a, b in query(buys_bounded(), db, "buys")}
+        recursive = {(a.value, b.value) for a, b in query(buys_recursive(), db, "buys")}
+        assert ("bob", "hats") in bounded      # trendy bob buys what anyone likes
+        assert ("cat", "hats") in recursive    # cat knows ann who likes hats
+        assert ("cat", "hats") not in bounded

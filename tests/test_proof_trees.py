@@ -1,0 +1,154 @@
+"""Proof-tree tests (Section 5.1): var(Pi), connectedness
+(Definition 5.2, Example 5.3), distinguished occurrences, and the
+proof-tree <-> expansion-tree round trip (Propositions 5.5/5.6)."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Variable
+from repro.trees.expansion import ExpansionTree
+from repro.trees.proof import (
+    OccurrenceClasses,
+    is_proof_tree,
+    proof_tree_to_expansion_tree,
+    proof_trees,
+    root_atoms,
+    term_space,
+    var_space,
+    varnum,
+)
+
+
+@pytest.fixture
+def figure2_proof_tree(tc_program):
+    """The proof tree of Figure 2(b): the interior node reuses X where
+    the unfolding expansion tree would use a fresh W.
+
+    root:     (p(X, Y), p(X, Y) :- e(X, Z), p(Z, Y))
+    interior: (p(Z, Y), p(Z, Y) :- e(Z, X), p(X, Y))
+    leaf:     (p(X, Y), p(X, Y) :- e0(X, Y))
+    """
+    v = {name: Variable(f"_pv{i}") for i, name in enumerate("XYZ")}
+    x, y, z = v["X"], v["Y"], v["Z"]
+    root_rule = Rule(Atom("p", (x, y)), (Atom("e", (x, z)), Atom("p", (z, y))))
+    interior_rule = Rule(Atom("p", (z, y)), (Atom("e", (z, x)), Atom("p", (x, y))))
+    leaf_rule = Rule(Atom("p", (x, y)), (Atom("e0", (x, y)),))
+    leaf = ExpansionTree(leaf_rule.head, leaf_rule)
+    interior = ExpansionTree(interior_rule.head, interior_rule, (leaf,))
+    return ExpansionTree(root_rule.head, root_rule, (interior,))
+
+
+class TestVarSpace:
+    def test_varnum_tc(self, tc_program):
+        # Both rules have 3 variables; varnum = 2 * 3.
+        assert varnum(tc_program) == 6
+        assert len(var_space(tc_program)) == 6
+
+    def test_term_space_includes_constants(self):
+        program = parse_program("p(X) :- e(X, c0), p(X).\np(X) :- b(X).")
+        space = term_space(program)
+        from repro.datalog.terms import Constant
+
+        assert Constant("c0") in space
+
+    def test_root_atoms_count(self, tc_program):
+        assert len(list(root_atoms(tc_program, "p"))) == 36  # 6^2
+
+    def test_is_proof_tree(self, figure2_proof_tree, tc_program):
+        assert is_proof_tree(figure2_proof_tree, tc_program)
+
+
+class TestEnumeration:
+    def test_counts_height1(self, tc_program):
+        # Height-1 trees: instances of the base rule over var(Pi):
+        # 36 head atoms, one tree each.
+        trees = list(proof_trees(tc_program, "p", 1))
+        assert len(trees) == 36
+
+    def test_counts_height2(self, tc_program):
+        # 36 roots x 6 choices of Z x (1 leaf) + the 36 height-1 trees.
+        trees = list(proof_trees(tc_program, "p", 2))
+        assert len(trees) == 36 * 6 + 36
+
+    def test_root_args_filter(self, tc_program):
+        space = var_space(tc_program)
+        trees = list(proof_trees(tc_program, "p", 2, root_args=(space[0], space[1])))
+        assert all(t.atom == Atom("p", (space[0], space[1])) for t in trees)
+
+    def test_all_are_proof_trees(self, tc_program):
+        for tree in proof_trees(tc_program, "p", 2):
+            assert is_proof_tree(tree, tc_program)
+            tree.validate(tc_program)
+
+
+class TestConnectedness:
+    def test_example_5_3(self, figure2_proof_tree):
+        # Example 5.3: Y occurrences in root and interior are connected
+        # and distinguished; X in root and leaf are NOT connected; the
+        # leaf X is not distinguished while the root X is.
+        classes = OccurrenceClasses(figure2_proof_tree)
+        x, y = Variable("_pv0"), Variable("_pv1")
+        assert classes.connected(((), y), ((0,), y))
+        assert classes.connected(((), y), ((0, 0), y))
+        assert not classes.connected(((), x), ((0, 0), x))
+        assert classes.is_distinguished((), x)
+        assert classes.is_distinguished((0,), y)
+        assert classes.is_distinguished((0, 0), y)
+        assert not classes.is_distinguished((0, 0), x)
+        # The interior X and the leaf X ARE connected (X is in the
+        # leaf's goal), just not to the root.
+        assert classes.connected(((0,), x), ((0, 0), x))
+
+    def test_same_node_occurrences_connected(self, figure2_proof_tree):
+        classes = OccurrenceClasses(figure2_proof_tree)
+        z = Variable("_pv2")
+        # Z occurs in both atoms of the root rule: one class.
+        assert classes.connected(((), z), ((), z))
+
+    def test_classes_partition(self, figure2_proof_tree):
+        classes = OccurrenceClasses(figure2_proof_tree)
+        all_occurrences = [occ for members in classes.classes().values() for occ in members]
+        assert len(all_occurrences) == len(set(all_occurrences))
+
+    def test_unknown_occurrence_raises(self, figure2_proof_tree):
+        from repro.datalog.errors import ValidationError
+
+        classes = OccurrenceClasses(figure2_proof_tree)
+        with pytest.raises(ValidationError):
+            classes.class_of((), Variable("_pv5"))
+
+
+class TestRenaming:
+    def test_proposition_5_5_renaming(self, figure2_proof_tree, tc_program):
+        expansion = proof_tree_to_expansion_tree(figure2_proof_tree)
+        expansion.validate(tc_program)
+        # The root atom is unchanged (distinguished classes keep names).
+        assert expansion.atom == figure2_proof_tree.atom
+        # The reused X below the root got a fresh name (it is a
+        # different connectedness class from the root's X).
+        leaf = expansion.children[0].children[0]
+        assert leaf.atom.args[0] != Variable("_pv0")
+        # ... and Y survives everywhere (distinguished class).
+        assert leaf.atom.args[1] == Variable("_pv1")
+
+    def test_renaming_preserves_query_semantics(self, tc_program):
+        # The renamed tree's query and the proof tree's query must be
+        # equivalent *as queries of the underlying expansion*: the
+        # proof tree query is the more-constrained variant, so it is
+        # contained in the renamed one.
+        from repro.cq.containment import cq_contained_in
+
+        for tree in list(proof_trees(tc_program, "p", 2))[:40]:
+            renamed = proof_tree_to_expansion_tree(tree)
+            assert cq_contained_in(
+                tree.to_query(tc_program), renamed.to_query(tc_program)
+            )
+
+    def test_connected_classes_get_one_variable(self, figure2_proof_tree):
+        renamed = proof_tree_to_expansion_tree(figure2_proof_tree)
+        # Y is connected through the whole spine, so every node's
+        # second goal argument stays the same variable.
+        assert renamed.atom.args[1] == renamed.children[0].atom.args[1]
+        assert renamed.atom.args[1] == renamed.children[0].children[0].atom.args[1]

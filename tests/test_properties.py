@@ -1,0 +1,98 @@
+"""Cross-module property-based tests (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq.containment import ucq_contained_in
+from repro.datalog.database import Database
+from repro.datalog.engine import evaluate
+from repro.datalog.parser import parse_program
+from repro.datalog.unfold import expansion_union
+from repro.programs import transitive_closure
+
+from .conftest import random_graph_database
+
+TC = parse_program("p(X, Y) :- e(X, Y).\np(X, Y) :- e(X, Z), p(Z, Y).")
+
+
+class TestMonotonicity:
+    """Positive Datalog is monotone: more input facts never remove
+    derived facts."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2 ** 20), st.integers(0, 2 ** 20))
+    def test_engine_monotone(self, seed_a, seed_b):
+        rng_a, rng_b = random.Random(seed_a), random.Random(seed_b)
+        small = random_graph_database(rng_a, nodes=4)
+        big = small.copy()
+        for predicate, row in random_graph_database(rng_b, nodes=4).facts():
+            big.add(predicate, row)
+        assert evaluate(TC, small).facts("p") <= evaluate(TC, big).facts("p")
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2 ** 20))
+    def test_stagewise_monotone(self, seed):
+        db = random_graph_database(random.Random(seed), nodes=4)
+        previous = frozenset()
+        for stage in (1, 2, 3):
+            current = evaluate(TC, db, max_stages=stage).facts("p")
+            assert previous <= current
+            previous = current
+
+
+class TestExpansionHierarchy:
+    """Deeper truncations define larger queries (Proposition 2.6)."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=1, max_value=3))
+    def test_truncation_chain(self, height):
+        program = transitive_closure()
+        shallow = expansion_union(program, "p", height)
+        deep = expansion_union(program, "p", height + 1)
+        assert ucq_contained_in(shallow, deep)
+        assert not ucq_contained_in(deep, shallow)
+
+
+class TestFreshCombos:
+    """The semi-naive combo enumerator must cover every combo across
+    the rounds (omissions would make the fixpoint incomplete).
+
+    Duplicates across rounds are permitted -- entries inserted mid-round
+    carry the current generation, so a combo can qualify both through
+    an "after" slot and later as a pivot; the antichain insert is
+    idempotent, so duplicates only cost time, never correctness.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=3),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    def test_full_coverage(self, generation_lists):
+        from repro.core.tree_containment import _fresh_combos
+
+        options = [
+            [(f"s{i}_{j}", f"w{i}_{j}", generation) for j, generation in enumerate(gens)]
+            for i, gens in enumerate(generation_lists)
+        ]
+        seen = set()
+        for round_number in range(1, 6):
+            for combo in _fresh_combos(options, round_number):
+                seen.add(tuple(entry[0] for entry in combo))
+        expected = 1
+        for opts in options:
+            expected *= len(opts)
+        assert len(seen) == expected
+
+    def test_no_stale_only_combos_in_late_rounds(self):
+        from repro.core.tree_containment import _fresh_combos
+
+        # All entries generation 0: nothing should fire after round 1.
+        options = [[("a", "w", 0)], [("b", "w", 0)]]
+        assert list(_fresh_combos(options, 1))
+        assert not list(_fresh_combos(options, 3))

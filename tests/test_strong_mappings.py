@@ -1,0 +1,108 @@
+"""Strong-containment-mapping oracle tests (Definition 5.4,
+Propositions 5.5/5.6, Corollary 5.7, Theorem 5.8)."""
+
+import pytest
+
+from repro.cq.query import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.cq.containment import cq_contained_in
+from repro.datalog.errors import ValidationError
+from repro.datalog.parser import parse_atom
+from repro.trees.proof import proof_tree_to_expansion_tree, proof_trees
+from repro.trees.strong import (
+    brute_force_contained,
+    find_strong_containment_mapping,
+    has_strong_containment_mapping,
+    ucq_covers_proof_tree,
+)
+
+
+def cq(head: str, *body: str) -> ConjunctiveQuery:
+    return ConjunctiveQuery(parse_atom(head), tuple(parse_atom(b) for b in body))
+
+
+class TestStrongMappings:
+    def test_rejects_idb_query(self, tc_program):
+        tree = next(iter(proof_trees(tc_program, "p", 1)))
+        with pytest.raises(ValidationError):
+            has_strong_containment_mapping(cq("p(X, Y)", "p(X, Y)"), tree, tc_program)
+
+    def test_base_query_maps_to_base_trees(self, tc_program):
+        theta = cq("p(X0, X1)", "e0(X0, X1)")
+        for tree in proof_trees(tc_program, "p", 1):
+            assert has_strong_containment_mapping(theta, tree, tc_program)
+
+    def test_connectedness_blocks_bogus_mappings(self, tc_program):
+        """The heart of Definition 5.4: in the Figure 2 proof tree the
+        reused X must NOT let a query join across disconnected
+        occurrences."""
+        from repro.datalog.atoms import Atom
+        from repro.datalog.rules import Rule
+        from repro.datalog.terms import Variable
+        from repro.trees.expansion import ExpansionTree
+
+        pv = [Variable(f"_pv{i}") for i in range(3)]
+        x, y, z = pv
+        root = Rule(Atom("p", (x, y)), (Atom("e", (x, z)), Atom("p", (z, y))))
+        interior = Rule(Atom("p", (z, y)), (Atom("e", (z, x)), Atom("p", (x, y))))
+        leaf = Rule(Atom("p", (x, y)), (Atom("e0", (x, y)),))
+        tree = ExpansionTree(
+            root.head, root,
+            (ExpansionTree(interior.head, interior,
+                           (ExpansionTree(leaf.head, leaf),)),),
+        )
+        # Naive (weak) homomorphism would map W -> X across both e
+        # atoms AND make W distinguished: e(W, Z), e0(W, X1) with W=X0.
+        # e(X0, Z) maps to root's e(x, z); e0(X0, X1) needs e0(x, y) --
+        # but the leaf's x-occurrence is NOT connected to the root's,
+        # so the strong mapping must fail.
+        theta = cq("p(X0, X1)", "e(X0, Z)", "e0(X0, X1)")
+        assert not has_strong_containment_mapping(theta, tree, tc_program)
+        # The weak homomorphism DOES exist on the flattened query --
+        # showing why plain containment mappings to proof trees are
+        # unsound and connectedness is needed.
+        flat = tree.to_query(tc_program)
+        assert cq_contained_in(flat, theta)
+        # On the correctly-renamed expansion tree even the weak mapping
+        # dies.
+        renamed = proof_tree_to_expansion_tree(tree).to_query(tc_program)
+        assert not cq_contained_in(renamed, theta)
+
+    def test_mapping_object_structure(self, tc_program):
+        theta = cq("p(X0, X1)", "e0(X0, X1)")
+        tree = next(iter(proof_trees(tc_program, "p", 1)))
+        mapping = find_strong_containment_mapping(theta, tree, tc_program)
+        assert mapping is not None
+        assert set(mapping) == {parse_atom("p(X0, X1)").args[0],
+                                parse_atom("p(X0, X1)").args[1]}
+
+    def test_corollary_5_7_equivalence_with_renamed_trees(self, tc_program):
+        """Strong mapping to proof tree == weak mapping to the renamed
+        expansion tree (the two sides of Propositions 5.5/5.6)."""
+        queries = [
+            cq("p(X0, X1)", "e0(X0, X1)"),
+            cq("p(X0, X1)", "e(X0, Z)", "e0(Z, X1)"),
+            cq("p(X0, X1)", "e(X0, Z)"),
+            cq("p(X0, X1)", "e(Z, Z)"),
+        ]
+        for tree in list(proof_trees(tc_program, "p", 2))[:60]:
+            renamed = proof_tree_to_expansion_tree(tree).to_query(tc_program)
+            for theta in queries:
+                strong = has_strong_containment_mapping(theta, tree, tc_program)
+                weak_on_renamed = cq_contained_in(renamed, theta)
+                assert strong == weak_on_renamed, (theta, str(tree))
+
+
+class TestBruteForce:
+    def test_covers_detects_failure(self, tc_program):
+        union = UnionOfConjunctiveQueries([cq("p(X0, X1)", "e0(X0, X1)")])
+        ok, witness = brute_force_contained(tc_program, "p", union, max_height=2)
+        assert not ok
+        assert witness is not None
+        assert not ucq_covers_proof_tree(union, witness, tc_program)
+
+    def test_covers_detects_success(self, tc_program):
+        union = UnionOfConjunctiveQueries(
+            [cq("p(X0, X1)", "e0(X0, X1)"), cq("p(X0, X1)", "e(X0, Z)")]
+        )
+        ok, witness = brute_force_contained(tc_program, "p", union, max_height=2)
+        assert ok and witness is None

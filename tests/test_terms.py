@@ -1,0 +1,83 @@
+"""Unit tests for repro.datalog.terms."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datalog.terms import (
+    Constant,
+    FreshVariableFactory,
+    Variable,
+    is_constant,
+    is_variable,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_str(self):
+        assert str(Variable("Xs")) == "Xs"
+
+    def test_is_variable(self):
+        assert is_variable(Variable("X"))
+        assert not is_variable(Constant("x"))
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+        assert Constant(1) != Constant("1")
+
+    def test_int_payload(self):
+        assert str(Constant(42)) == "42"
+
+    def test_lowercase_identifier_renders_bare(self):
+        assert str(Constant("abc")) == "abc"
+
+    def test_weird_string_renders_quoted(self):
+        rendered = str(Constant("has space"))
+        assert rendered.startswith("'") or rendered.startswith('"')
+
+    def test_is_constant(self):
+        assert is_constant(Constant("a"))
+        assert not is_constant(Variable("A"))
+
+    def test_variable_and_constant_never_equal(self):
+        assert Variable("a") != Constant("a")
+
+
+class TestFreshVariableFactory:
+    def test_produces_distinct_variables(self):
+        factory = FreshVariableFactory()
+        seen = {factory.fresh() for _ in range(100)}
+        assert len(seen) == 100
+
+    def test_avoids_initial_names(self):
+        factory = FreshVariableFactory(avoid=["V0", "V1"])
+        assert factory.fresh() == Variable("V2")
+
+    def test_avoids_variables_given_as_objects(self):
+        factory = FreshVariableFactory(avoid=[Variable("V0")])
+        assert factory.fresh() == Variable("V1")
+
+    def test_avoid_can_be_extended(self):
+        factory = FreshVariableFactory()
+        factory.avoid(["V0"])
+        assert factory.fresh() == Variable("V1")
+
+    def test_prefix(self):
+        factory = FreshVariableFactory(prefix="W")
+        assert factory.fresh().name.startswith("W")
+
+    @given(st.lists(st.text(alphabet="VW019", min_size=1, max_size=4)))
+    def test_never_emits_avoided_name(self, avoid):
+        factory = FreshVariableFactory(avoid=avoid)
+        fresh = [factory.fresh() for _ in range(20)]
+        assert not ({v.name for v in fresh} & set(avoid))

@@ -1,0 +1,135 @@
+"""Turing-machine substrate tests (Section 5.3 preliminaries)."""
+
+import pytest
+
+from repro.datalog.errors import ValidationError
+from repro.lowerbounds.turing import (
+    LEFT,
+    RIGHT,
+    STAY,
+    AlternatingTuringMachine,
+    TuringMachine,
+    is_composite,
+    local_relations,
+    simple_accepting_machine,
+    simple_rejecting_machine,
+    sweeping_machine,
+    symbol_name,
+)
+
+
+class TestSimulation:
+    def test_accepting_machine(self):
+        assert simple_accepting_machine().accepts_in_space(2)
+
+    def test_rejecting_machine(self):
+        assert not simple_rejecting_machine().accepts_in_space(2, max_steps=100)
+
+    def test_sweeping_machine(self):
+        machine = sweeping_machine()
+        assert machine.accepts_in_space(2)
+        assert machine.accepts_in_space(4)
+
+    def test_run_configurations_ends_accepting(self):
+        machine = sweeping_machine()
+        history = machine.run_configurations(2)
+        final = next(c for c in history[-1] if is_composite(c))
+        assert final[0] in machine.accepting_states
+
+    def test_head_cannot_leave_tape(self):
+        machine = TuringMachine(
+            states=frozenset({"q0", "qa"}),
+            tape_symbols=frozenset({"b"}),
+            blank="b",
+            initial_state="q0",
+            accepting_states=frozenset({"qa"}),
+            transitions={("q0", "b"): ("q0", "b", LEFT)},
+        )
+        assert not machine.accepts_in_space(2, max_steps=10)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            TuringMachine(
+                states=frozenset({"q0"}),
+                tape_symbols=frozenset({"b"}),
+                blank="x",
+                initial_state="q0",
+                accepting_states=frozenset(),
+                transitions={},
+            )
+
+    def test_symbol_name(self):
+        assert symbol_name("b") == "b"
+        assert symbol_name(("q0", "b")) == "q0_b"
+
+    def test_cell_symbols(self):
+        machine = simple_accepting_machine()
+        symbols = machine.cell_symbols()
+        assert "b" in symbols and ("q0", "b") in symbols
+        assert len(symbols) == 3 + 2 * 3
+
+
+class TestLocalRelations:
+    @pytest.mark.parametrize(
+        "machine",
+        [simple_accepting_machine(), simple_rejecting_machine(), sweeping_machine()],
+    )
+    def test_simulation_satisfies_relations(self, machine):
+        r_m, r_left, r_right = local_relations(machine)
+        history = machine.run_configurations(4)
+        for before, after in zip(history, history[1:]):
+            for i in range(1, len(before) - 1):
+                assert (before[i - 1], before[i], before[i + 1], after[i]) in r_m
+            assert (before[0], before[1], after[0]) in r_left
+            assert (before[-2], before[-1], after[-1]) in r_right
+
+    def test_relations_reject_wrong_successor(self):
+        machine = sweeping_machine()
+        r_m, _, _ = local_relations(machine)
+        history = machine.run_configurations(4)
+        before, after = history[0], history[1]
+        # Corrupt one cell of the successor.
+        wrong = "1" if after[1] != "1" else "b"
+        assert (before[0], before[1], before[2], wrong) not in r_m
+
+    def test_double_composite_excluded(self):
+        machine = sweeping_machine()
+        r_m, _, _ = local_relations(machine)
+        head = ("q0", "b")
+        assert not any(
+            t for t in r_m if t[0] == head and t[1] == head
+        )
+
+
+class TestAlternating:
+    def _machine(self, universal: bool) -> AlternatingTuringMachine:
+        # Left branch accepts immediately; right branch rejects.
+        return AlternatingTuringMachine(
+            states=frozenset({"q0", "qa", "qr"}),
+            tape_symbols=frozenset({"b", "1"}),
+            blank="b",
+            initial_state="q0",
+            accepting_states=frozenset({"qa"}),
+            universal_states=frozenset({"q0"}) if universal else frozenset(),
+            left_transitions={("q0", "b"): ("qa", "1", STAY)},
+            right_transitions={("q0", "b"): ("qr", "1", STAY)},
+        )
+
+    def test_existential_accepts(self):
+        assert self._machine(universal=False).accepts_in_space(2)
+
+    def test_universal_rejects(self):
+        assert not self._machine(universal=True).accepts_in_space(2)
+
+    def test_universal_accepts_when_both_branches_do(self):
+        machine = AlternatingTuringMachine(
+            states=frozenset({"q0", "qa"}),
+            tape_symbols=frozenset({"b", "1"}),
+            blank="b",
+            initial_state="q0",
+            accepting_states=frozenset({"qa"}),
+            universal_states=frozenset({"q0"}),
+            left_transitions={("q0", "b"): ("qa", "1", STAY)},
+            right_transitions={("q0", "b"): ("qa", "b", RIGHT)},
+        )
+        assert machine.accepts_in_space(2)

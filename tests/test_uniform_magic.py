@@ -1,0 +1,141 @@
+"""Tests for the optimization extensions: uniform containment [Sa88b]
+and magic-sets rewriting [BR86]."""
+
+import random
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.engine import query
+from repro.datalog.errors import ValidationError
+from repro.datalog.magic import derived_fact_count, magic_query, magic_rewrite
+from repro.datalog.parser import parse_program
+from repro.datalog.uniform import (
+    rule_uniformly_subsumed,
+    uniformly_contained_in,
+    uniformly_equivalent,
+)
+from repro.programs import buys_bounded, buys_bounded_rewriting
+
+from .conftest import random_graph_database
+
+LEFT_TC = parse_program("p(X, Y) :- e(X, Y).\np(X, Y) :- p(X, Z), e(Z, Y).")
+RIGHT_TC = parse_program("p(X, Y) :- e(X, Y).\np(X, Y) :- e(X, Z), p(Z, Y).")
+DOUBLE_TC = parse_program("p(X, Y) :- e(X, Y).\np(X, Y) :- p(X, Z), p(Z, Y).")
+
+
+class TestUniformContainment:
+    def test_linear_variants_in_nonlinear(self):
+        assert uniformly_contained_in(LEFT_TC, DOUBLE_TC)
+        assert uniformly_contained_in(RIGHT_TC, DOUBLE_TC)
+
+    def test_nonlinear_not_uniform_in_linear(self):
+        # p(x,z), p(z,y) |- p(x,y) needs the nonlinear rule; the linear
+        # programs cannot derive it from bare IDB facts.
+        assert not uniformly_contained_in(DOUBLE_TC, LEFT_TC)
+        assert not uniformly_contained_in(DOUBLE_TC, RIGHT_TC)
+
+    def test_left_right_mutually_not_uniform(self):
+        assert not uniformly_contained_in(LEFT_TC, RIGHT_TC)
+        assert not uniformly_contained_in(RIGHT_TC, LEFT_TC)
+
+    def test_self_equivalence(self):
+        assert uniformly_equivalent(LEFT_TC, LEFT_TC)
+
+    def test_uniform_strictly_stronger_than_containment(self):
+        # Example 1.1: Pi_1 is EQUIVALENT to its rewriting but not
+        # uniformly contained in it (uniform treats buys as input).
+        assert not uniformly_contained_in(buys_bounded(), buys_bounded_rewriting())
+        assert uniformly_contained_in(buys_bounded_rewriting(), buys_bounded())
+
+    def test_uniform_implies_semantic_containment(self):
+        rng = random.Random(3)
+        assert uniformly_contained_in(RIGHT_TC, DOUBLE_TC)
+        for _ in range(10):
+            db = random_graph_database(rng, nodes=5)
+            assert query(RIGHT_TC, db, "p") <= query(DOUBLE_TC, db, "p")
+
+    def test_unsafe_rule_rejected(self):
+        program = parse_program("p(X, W) :- e(X, X).")
+        with pytest.raises(ValidationError):
+            rule_uniformly_subsumed(program.rules[0], RIGHT_TC)
+
+    def test_edb_headed_subsumption(self):
+        # A rule deriving nothing new: e(X,Y) :- e(X,Y) style identity
+        # via an IDB alias.
+        alias = parse_program("p(X, Y) :- e(X, Y).")
+        assert uniformly_contained_in(alias, RIGHT_TC)
+
+
+def chain_db(length: int, extra_component: int = 0) -> Database:
+    db = Database()
+    for i in range(length):
+        db.add("e", (f"v{i}", f"v{i+1}"))
+    for i in range(extra_component):
+        db.add("e", (f"w{i}", f"w{i+1}"))
+    return db
+
+
+class TestMagicSets:
+    def test_agrees_with_direct_evaluation(self):
+        db = chain_db(12, extra_component=12)
+        rows = magic_query(RIGHT_TC, db, "p", "bf", ["v4"])
+        direct = frozenset(
+            r for r in query(RIGHT_TC, db, "p") if r[0].value == "v4"
+        )
+        assert rows == direct
+
+    def test_free_free_adornment_degenerates_to_full(self):
+        db = chain_db(6)
+        rows = magic_query(RIGHT_TC, db, "p", "ff", [])
+        assert rows == query(RIGHT_TC, db, "p")
+
+    def test_bound_both(self):
+        db = chain_db(8)
+        rows = magic_query(RIGHT_TC, db, "p", "bb", ["v1", "v5"])
+        assert rows == frozenset({tuple(r for r in rows)[0]}) if rows else True
+        assert len(rows) == 1
+
+    def test_relevance_pruning(self):
+        db = chain_db(10, extra_component=40)
+        counts = derived_fact_count(RIGHT_TC, db, "p", "bf", ["v8"])
+        assert counts["magic"] < counts["direct"]
+
+    def test_random_graphs_differential(self):
+        rng = random.Random(19)
+        for _ in range(10):
+            db = random_graph_database(rng, nodes=6)
+            start = sorted(db.active_domain(), key=repr)[0]
+            rows = magic_query(RIGHT_TC, db, "p", "bf", [start])
+            direct = frozenset(
+                r for r in query(RIGHT_TC, db, "p") if r[0] == start
+            )
+            assert rows == direct
+
+    def test_nonlinear_program(self):
+        rng = random.Random(23)
+        for _ in range(5):
+            db = random_graph_database(rng, nodes=5)
+            start = sorted(db.active_domain(), key=repr)[0]
+            rows = magic_query(DOUBLE_TC, db, "p", "bf", [start])
+            direct = frozenset(
+                r for r in query(DOUBLE_TC, db, "p") if r[0] == start
+            )
+            assert rows == direct
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            magic_rewrite(RIGHT_TC, "p", "b", [])  # wrong length
+        with pytest.raises(ValidationError):
+            magic_rewrite(RIGHT_TC, "p", "bx", ["v0"])  # bad letter
+        with pytest.raises(ValidationError):
+            magic_rewrite(RIGHT_TC, "p", "bf", [])  # missing binding
+
+    def test_rewrite_structure(self):
+        rewriting = magic_rewrite(RIGHT_TC, "p", "bf", ["v0"])
+        predicates = {r.head.predicate for r in rewriting.program.rules}
+        assert "p__bf" in predicates
+        assert "magic_p__bf" in predicates
+        # Every p__bf rule is guarded by its magic predicate.
+        for rule in rewriting.program.rules_for("p__bf"):
+            assert rule.body[0].predicate == "magic_p__bf"
