@@ -14,7 +14,11 @@ from .containment import (
 )
 from .cq_automaton import CQAutomaton, CQState
 from .equivalence import EquivalenceResult, equivalent_to_ucq, is_equivalent_to_nonrecursive
-from .materialize import materialize_cq_automaton, theorem_5_11_via_substrate
+from .materialize import (
+    materialize_cq_automaton,
+    materialize_fixpoint,
+    theorem_5_11_via_substrate,
+)
 from .instances import InstanceEnumerator, Label
 from .ptree_automaton import (
     PTreeAutomaton,
@@ -56,6 +60,7 @@ __all__ = [
     "is_equivalent_to_nonrecursive",
     "labeled_tree_to_proof_tree",
     "materialize_cq_automaton",
+    "materialize_fixpoint",
     "nonrecursive_contained_in_datalog",
     "theorem_5_11_via_substrate",
     "proof_tree_to_labeled_tree",

@@ -21,11 +21,15 @@ continues deeper.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import Optional
 
+from ..cq.canonical import canonical_database
 from ..cq.query import UnionOfConjunctiveQueries
+from ..datalog.engine import Engine, evaluate
+from ..datalog.errors import ValidationError
 from ..datalog.program import Program
-from ..datalog.unfold import expansion_union
+from ..datalog.unfold import expansion_union, expansions
 from .containment import contained_in_ucq
 
 
@@ -62,8 +66,40 @@ def bounded_at_depth(program: Program, goal: str, depth: int,
     return contained_in_ucq(program, goal, union, method=method).contained
 
 
+_PROBE_LIMIT = 64        # cap on probed expansions per depth
+
+
+def _engine_refutes_depth(program: Program, goal: str, depth: int,
+                          union: UnionOfConjunctiveQueries,
+                          engine: Optional[Engine]) -> bool:
+    """The counterexample route, decided by the evaluation engine.
+
+    An expansion of height beyond *depth* is itself contained in Pi
+    (Proposition 2.6), so if its canonical database does not make the
+    depth-*depth* union derive the frozen head, that expansion
+    witnesses ``Pi not subseteq union`` and depth-*depth* boundedness
+    is refuted without running the automata containment.  Sound only
+    for safe programs (the caller guards).  The expansion stream is
+    lazy, so probing stays cheap even for branching programs.
+    """
+    try:
+        candidate = Program([theta.as_rule() for theta in union])
+        probe = expansions(program, goal, depth + 1, exact_height=True)
+        for theta in islice(probe, _PROBE_LIMIT):
+            database, head_row = canonical_database(theta)
+            result = evaluate(candidate, database, engine=engine)
+            if head_row not in result.facts(goal):
+                return True
+    except ValidationError:
+        # A probe that cannot be frozen proves nothing; fall through to
+        # the automata containment.
+        return False
+    return False
+
+
 def decide_boundedness(program: Program, goal: str, max_depth: int = 4,
-                       method: str = "auto") -> BoundednessResult:
+                       method: str = "auto",
+                       engine: Optional[Engine] = None) -> BoundednessResult:
     """Search for a boundedness certificate up to ``max_depth``.
 
     Returns ``bounded=True`` with the certified depth and the
@@ -71,11 +107,24 @@ def decide_boundedness(program: Program, goal: str, max_depth: int = 4,
     boundedness is undecidable in general [GMSV93], so absence of a
     certificate proves nothing).  Nonrecursive programs are bounded by
     their dependence-graph depth and always certified.
+
+    For safe programs, each depth first runs the cheap counterexample
+    route through the evaluation engine (*engine*, defaulting to the
+    compiled one): deeper expansions whose canonical databases escape
+    the candidate union refute the depth without touching the automata
+    machinery.
     """
     program.require_goal(goal)
+    all_safe = all(rule.is_safe for rule in program.rules)
+    # One-off candidate programs would churn the process-wide plan
+    # cache; give the probes their own engine unless one was supplied.
+    probe_engine = engine or Engine()
     for depth in range(1, max_depth + 1):
         union = expansion_union(program, goal, depth)
         if not union.disjuncts:
+            continue
+        if all_safe and _engine_refutes_depth(program, goal, depth, union,
+                                              probe_engine):
             continue
         if contained_in_ucq(program, goal, union, method=method).contained:
             return BoundednessResult(bounded=True, depth=depth, witness_union=union)

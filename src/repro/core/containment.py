@@ -23,7 +23,7 @@ from typing import Optional, Tuple
 from ..cq.canonical import canonical_database
 from ..cq.query import ConjunctiveQuery, UnionOfConjunctiveQueries
 from ..datalog.database import Database
-from ..datalog.engine import evaluate
+from ..datalog.engine import Engine, evaluate
 from ..datalog.errors import ValidationError
 from ..datalog.program import Program
 from ..datalog.unfold import unfold_nonrecursive
@@ -79,11 +79,12 @@ def contained_in_nonrecursive(program: Program, goal: str,
 # ----------------------------------------------------------------------
 
 def cq_contained_in_datalog(theta: ConjunctiveQuery, program: Program,
-                            goal: str) -> bool:
+                            goal: str,
+                            engine: Optional[Engine] = None) -> bool:
     """Decide ``theta subseteq Q_Pi`` by the canonical-database test
     [CK86, Sa88b]: freeze theta's variables into constants, evaluate Pi
     bottom-up on the frozen body, and check that the frozen head is
-    derived.
+    derived.  ``engine`` overrides the default compiled engine.
 
     Requires a safe theta (an unsafe query cannot be contained in a
     Datalog program under active-domain semantics unless its frozen
@@ -96,22 +97,25 @@ def cq_contained_in_datalog(theta: ConjunctiveQuery, program: Program,
             f"canonical-database test requires a safe query, got {theta}"
         )
     database, head_row = canonical_database(theta)
-    result = evaluate(program, database)
+    result = evaluate(program, database, engine=engine)
     return head_row in result.facts(goal)
 
 
 def ucq_contained_in_datalog(union: UnionOfConjunctiveQueries,
-                             program: Program, goal: str) -> bool:
+                             program: Program, goal: str,
+                             engine: Optional[Engine] = None) -> bool:
     """Decide ``union subseteq Q_Pi`` disjunct-wise (Theorem 2.3)."""
-    return all(cq_contained_in_datalog(theta, program, goal) for theta in union)
+    return all(cq_contained_in_datalog(theta, program, goal, engine=engine)
+               for theta in union)
 
 
 def nonrecursive_contained_in_datalog(nonrecursive: Program,
                                       nonrecursive_goal: str,
-                                      program: Program, goal: str) -> bool:
+                                      program: Program, goal: str,
+                                      engine: Optional[Engine] = None) -> bool:
     """Decide ``Q'_Pi' subseteq Q_Pi`` for nonrecursive Pi'."""
     union = unfold_nonrecursive(nonrecursive, nonrecursive_goal)
-    return ucq_contained_in_datalog(union, program, goal)
+    return ucq_contained_in_datalog(union, program, goal, engine=engine)
 
 
 # ----------------------------------------------------------------------

@@ -19,6 +19,7 @@ from typing import Dict, Optional
 
 from ..cq.query import UnionOfConjunctiveQueries
 from ..datalog.analysis import is_nonrecursive, is_recursive
+from ..datalog.engine import Engine
 from ..datalog.errors import NotNonrecursiveError, ValidationError
 from ..datalog.program import Program
 from ..datalog.unfold import unfold_nonrecursive
@@ -50,7 +51,8 @@ class EquivalenceResult:
 def is_equivalent_to_nonrecursive(program: Program, nonrecursive: Program,
                                   goal: str,
                                   nonrecursive_goal: Optional[str] = None,
-                                  method: str = "auto") -> EquivalenceResult:
+                                  method: str = "auto",
+                                  engine: Optional[Engine] = None) -> EquivalenceResult:
     """Decide ``Pi == Pi'`` for a (possibly recursive) Pi and a
     nonrecursive Pi' (Theorem 6.5).
 
@@ -72,7 +74,7 @@ def is_equivalent_to_nonrecursive(program: Program, nonrecursive: Program,
         raise ValidationError("goal predicates have different arities")
 
     union = unfold_nonrecursive(nonrecursive, nonrecursive_goal)
-    backward = ucq_contained_in_datalog(union, program, goal)
+    backward = ucq_contained_in_datalog(union, program, goal, engine=engine)
     forward = contained_in_ucq(program, goal, union, method=method)
     stats = dict(forward.stats)
     stats["union_disjuncts"] = len(union)
@@ -88,11 +90,12 @@ def is_equivalent_to_nonrecursive(program: Program, nonrecursive: Program,
 
 def equivalent_to_ucq(program: Program, goal: str,
                       union: UnionOfConjunctiveQueries,
-                      method: str = "auto") -> EquivalenceResult:
+                      method: str = "auto",
+                      engine: Optional[Engine] = None) -> EquivalenceResult:
     """Decide ``Pi == union`` directly against a union of conjunctive
     queries (the Theorem 5.12 form of the problem)."""
     program.require_goal(goal)
-    backward = ucq_contained_in_datalog(union, program, goal)
+    backward = ucq_contained_in_datalog(union, program, goal, engine=engine)
     forward = contained_in_ucq(program, goal, union, method=method)
     return EquivalenceResult(
         equivalent=forward.contained and backward,

@@ -8,7 +8,17 @@ rewriting of nonrecursive programs into unions of conjunctive queries.
 
 from .atoms import Atom, make_atom
 from .database import Database
-from .engine import EvaluationResult, evaluate, naive_evaluate, query, seminaive_evaluate
+from .engine import (
+    Engine,
+    EngineConfig,
+    EvaluationResult,
+    default_engine,
+    evaluate,
+    naive_evaluate,
+    query,
+    seminaive_evaluate,
+)
+from .plan import JoinPlan, PlanCache, PlanStore, compile_program
 from .errors import (
     ArityError,
     EvaluationError,
@@ -46,9 +56,14 @@ __all__ = [
     "ArityError",
     "Constant",
     "Database",
+    "Engine",
+    "EngineConfig",
     "EvaluationError",
     "EvaluationResult",
     "FreshVariableFactory",
+    "JoinPlan",
+    "PlanCache",
+    "PlanStore",
     "NotLinearError",
     "NotNonrecursiveError",
     "ParseError",
@@ -58,7 +73,9 @@ __all__ = [
     "Term",
     "ValidationError",
     "Variable",
+    "compile_program",
     "count_expansions",
+    "default_engine",
     "dependence_graph",
     "evaluate",
     "expansion_union",

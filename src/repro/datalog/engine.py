@@ -1,10 +1,22 @@
 """Bottom-up evaluation of Datalog programs.
 
-Implements both naive and semi-naive fixpoint evaluation (the latter is
-the default).  The stage-bounded relation ``Q^i_Pi(D)`` of Section 2.1
-("facts deducible by at most i applications of the rules") is exposed
-via the ``max_stages`` argument: stage *i* performs one parallel
-application of all rules to the stage *i-1* result.
+Two execution paths compute the same fixpoints:
+
+* the *interpretive* path (:func:`naive_evaluate`,
+  :func:`seminaive_evaluate`) re-derives a greedy join order on every
+  rule application -- kept as the reference implementation;
+* the *compiled* path (:mod:`repro.datalog.plan`) compiles each rule
+  once into a :class:`~repro.datalog.plan.JoinPlan`, interns constants
+  to small ints, and maintains hash indexes incrementally.
+
+Both are wrapped by :class:`Engine`, configured by
+:class:`EngineConfig`; the module-level :func:`evaluate` and
+:func:`query` route through a default compiled engine.
+
+The stage-bounded relation ``Q^i_Pi(D)`` of Section 2.1 ("facts
+deducible by at most i applications of the rules") is exposed via the
+``max_stages`` argument: stage *i* performs one parallel application of
+all rules to the stage *i-1* result.
 
 Unsafe rules (head variables that do not occur in the body, including
 empty-body rules as in Example 6.2) are evaluated under active-domain
@@ -20,6 +32,8 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from .atoms import Atom
 from .database import Database
+from .errors import ValidationError
+from .plan import PlanCache, compiled_naive, compiled_seminaive
 from .program import Program
 from .rules import Rule
 from .terms import Constant, Variable, is_variable
@@ -270,17 +284,95 @@ def seminaive_evaluate(program: Program, database: Database,
     return EvaluationResult(idb=idb_rows, stages=stage, fixpoint=fixpoint)
 
 
+_STRATEGIES = ("auto", "naive", "seminaive")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs of the evaluation engine.
+
+    ``strategy``
+        ``"auto"`` (semi-naive, falling back to naive rounds when
+        ``max_stages`` is given -- stage-bounded semantics is defined by
+        naive rounds), ``"naive"``, or ``"seminaive"``.
+    ``compiled``
+        Use the compiled join-plan path (:mod:`repro.datalog.plan`)
+        instead of the interpretive one.
+    ``interning`` / ``indexing``
+        Compiled-path toggles: intern constants to small ints; maintain
+        per-(predicate, column) hash indexes.  Ignored when
+        ``compiled=False`` (the interpretive path keeps its own lazy
+        indexes).
+    """
+
+    strategy: str = "auto"
+    compiled: bool = True
+    interning: bool = True
+    indexing: bool = True
+
+    def __post_init__(self):
+        if self.strategy not in _STRATEGIES:
+            raise ValidationError(
+                f"unknown strategy {self.strategy!r}; expected one of {_STRATEGIES}"
+            )
+
+
+class Engine:
+    """A reusable evaluator: compiled plans are cached across calls.
+
+    Both paths produce bit-identical :class:`EvaluationResult` values
+    (including ``stages`` and ``fixpoint``); the compiled path is the
+    default and the faster one.
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None):
+        self.config = config or EngineConfig()
+        self._plans = PlanCache()
+
+    def evaluate(self, program: Program, database: Database,
+                 max_stages: Optional[int] = None) -> EvaluationResult:
+        """Evaluate *program* on *database* under this configuration."""
+        cfg = self.config
+        use_naive = cfg.strategy == "naive" or (
+            cfg.strategy == "auto" and max_stages is not None)
+        if not cfg.compiled:
+            runner = naive_evaluate if use_naive else seminaive_evaluate
+            return runner(program, database, max_stages=max_stages)
+        runner = compiled_naive if use_naive else compiled_seminaive
+        idb, stages, fixpoint = runner(
+            program, database, max_stages,
+            interning=cfg.interning, indexing=cfg.indexing,
+            cache=self._plans,
+        )
+        return EvaluationResult(idb=idb, stages=stages, fixpoint=fixpoint)
+
+    def query(self, program: Program, database: Database, goal: str,
+              max_stages: Optional[int] = None) -> FrozenSet[Row]:
+        """The relation ``goal_Pi(D)`` (or its stage-bounded version)."""
+        program.require_goal(goal)
+        return self.evaluate(program, database, max_stages=max_stages).facts(goal)
+
+
+_DEFAULT_ENGINE = Engine()
+
+
+def default_engine() -> Engine:
+    """The process-wide compiled engine used by :func:`evaluate`."""
+    return _DEFAULT_ENGINE
+
+
 def evaluate(program: Program, database: Database,
-             max_stages: Optional[int] = None) -> EvaluationResult:
-    """Evaluate *program* on *database* (semi-naive; see module docs)."""
-    if max_stages is not None:
-        # Stage-bounded semantics is defined by naive rounds.
-        return naive_evaluate(program, database, max_stages=max_stages)
-    return seminaive_evaluate(program, database)
+             max_stages: Optional[int] = None,
+             engine: Optional[Engine] = None) -> EvaluationResult:
+    """Evaluate *program* on *database* (compiled semi-naive by default;
+    see module docs)."""
+    return (engine or _DEFAULT_ENGINE).evaluate(program, database,
+                                                max_stages=max_stages)
 
 
 def query(program: Program, database: Database, goal: str,
-          max_stages: Optional[int] = None) -> FrozenSet[Row]:
+          max_stages: Optional[int] = None,
+          engine: Optional[Engine] = None) -> FrozenSet[Row]:
     """The relation ``goal_Pi(D)`` (or its stage-bounded version)."""
-    program.require_goal(goal)
-    return evaluate(program, database, max_stages=max_stages).facts(goal)
+    return (engine or _DEFAULT_ENGINE).query(program, database, goal,
+                                             max_stages=max_stages)

@@ -25,11 +25,11 @@ direct evaluation (tested), typically touching far fewer facts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from .atoms import Atom
 from .database import Database
-from .engine import evaluate
+from .engine import Engine, evaluate
 from .errors import ValidationError
 from .program import Program
 from .rules import Rule
@@ -142,17 +142,19 @@ def magic_rewrite(program: Program, goal: str, adornment: Adornment,
 
 
 def magic_query(program: Program, database: Database, goal: str,
-                adornment: Adornment, bindings: Sequence) -> FrozenSet[Tuple]:
+                adornment: Adornment, bindings: Sequence,
+                engine: Optional[Engine] = None) -> FrozenSet[Tuple]:
     """Evaluate ``goal(bindings, ...)`` goal-directedly.
 
     Returns the full rows of the goal relation matching the bound
     arguments; must coincide with filtering the direct fixpoint
     (differentially tested), while deriving only goal-relevant facts.
+    ``engine`` overrides the default compiled engine.
     """
     rewriting = magic_rewrite(program, goal, adornment, bindings)
     seeded = database.copy()
     seeded.add(rewriting.seed_predicate, rewriting.seed_row)
-    result = evaluate(rewriting.program, seeded)
+    result = evaluate(rewriting.program, seeded, engine=engine)
     # The adorned relation may contain rows for other magic'd bindings
     # reached during propagation; keep only the queried ones.
     wanted = iter(rewriting.seed_row)
@@ -165,14 +167,15 @@ def magic_query(program: Program, database: Database, goal: str,
 
 
 def derived_fact_count(program: Program, database: Database, goal: str,
-                       adornment: Adornment, bindings: Sequence) -> Dict[str, int]:
+                       adornment: Adornment, bindings: Sequence,
+                       engine: Optional[Engine] = None) -> Dict[str, int]:
     """Instrumentation for the ablation bench: total IDB facts derived
     by direct evaluation vs the magic rewriting."""
-    direct = evaluate(program, database)
+    direct = evaluate(program, database, engine=engine)
     direct_count = sum(len(rows) for rows in direct.idb.values())
     rewriting = magic_rewrite(program, goal, adornment, bindings)
     seeded = database.copy()
     seeded.add(rewriting.seed_predicate, rewriting.seed_row)
-    magic = evaluate(rewriting.program, seeded)
+    magic = evaluate(rewriting.program, seeded, engine=engine)
     magic_count = sum(len(rows) for rows in magic.idb.values())
     return {"direct": direct_count, "magic": magic_count}

@@ -20,7 +20,7 @@ from typing import Dict, Optional
 
 from .atoms import Atom
 from .database import Database
-from .engine import evaluate
+from .engine import Engine, evaluate
 from .errors import ValidationError
 from .program import Program
 from .rules import Rule
@@ -37,7 +37,8 @@ def _freeze_atom(atom: Atom) -> Atom:
     return Atom(atom.predicate, args)
 
 
-def rule_uniformly_subsumed(rule: Rule, program: Program) -> bool:
+def rule_uniformly_subsumed(rule: Rule, program: Program,
+                            engine: Optional[Engine] = None) -> bool:
     """Does *program* derive the frozen head of *rule* from its frozen
     body?  (The per-rule test of the uniform-containment criterion.)"""
     if not rule.is_safe:
@@ -45,14 +46,15 @@ def rule_uniformly_subsumed(rule: Rule, program: Program) -> bool:
             f"uniform containment requires safe rules, got {rule}"
         )
     database = Database.from_atoms(_freeze_atom(a) for a in rule.body)
-    result = evaluate(program, database)
+    result = evaluate(program, database, engine=engine)
     frozen_head = _freeze_atom(rule.head)
     if frozen_head.predicate in program.idb_predicates:
         return frozen_head.args in result.facts(frozen_head.predicate)
     return database.contains(frozen_head.predicate, frozen_head.args)
 
 
-def uniformly_contained_in(pi: Program, pi_prime: Program) -> bool:
+def uniformly_contained_in(pi: Program, pi_prime: Program,
+                           engine: Optional[Engine] = None) -> bool:
     """Sound and complete test for uniform containment [Sa88b]:
     every rule of *pi* must be uniformly subsumed by *pi_prime*.
 
@@ -60,9 +62,12 @@ def uniformly_contained_in(pi: Program, pi_prime: Program) -> bool:
     IDB predicate; the converse fails (Example 1.1's Pi_1 is contained
     in -- indeed equivalent to -- its rewriting, but not uniformly).
     """
-    return all(rule_uniformly_subsumed(rule, pi_prime) for rule in pi.rules)
+    return all(rule_uniformly_subsumed(rule, pi_prime, engine=engine)
+               for rule in pi.rules)
 
 
-def uniformly_equivalent(pi: Program, pi_prime: Program) -> bool:
+def uniformly_equivalent(pi: Program, pi_prime: Program,
+                         engine: Optional[Engine] = None) -> bool:
     """Mutual uniform containment."""
-    return uniformly_contained_in(pi, pi_prime) and uniformly_contained_in(pi_prime, pi)
+    return (uniformly_contained_in(pi, pi_prime, engine=engine)
+            and uniformly_contained_in(pi_prime, pi, engine=engine))

@@ -1,0 +1,7 @@
+"""Test package marker.
+
+Several test modules import shared generators with
+``from .conftest import ...``; making ``tests`` a package gives those
+relative imports a parent package under plain
+``python -m pytest`` runs.
+"""
