@@ -1,0 +1,333 @@
+#!/usr/bin/env python
+"""Standalone benchmark runner with a machine-readable trajectory.
+
+Runs the performance-critical workloads of the repository -- compiled
+join plans, containment scaling, boundedness, and the generic automata
+substrate -- and appends a run record (median-of-N timings plus
+derived speedups) to ``BENCH_automata.json`` / ``BENCH_plans.json`` so
+performance can be tracked across commits.
+
+Each decision-stack case is timed in three modes:
+
+* ``seed_like``  -- frozenset reference kernel with the process-wide
+  shared caches cleared before every iteration: approximates the
+  pre-kernel implementation (cold enumeration, frozenset subsets);
+* ``reference``  -- frozenset kernel, warm shared caches (isolates the
+  bitmask representation from the memoization);
+* ``bitset``     -- the default bitset kernel, warm shared caches (the
+  shipped configuration).
+
+``speedup`` is ``seed_like / bitset`` -- what the kernel rework buys
+on the steady-state (repeated-query) workload the benchmarks model.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full run, repo-root JSON
+    PYTHONPATH=src python benchmarks/run_bench.py --smoke    # tiny sizes, no JSON write
+    PYTHONPATH=src python benchmarks/run_bench.py --out DIR  # write JSON elsewhere
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.automata.kernel import KernelConfig  # noqa: E402
+from repro.automata.tree import TreeAutomaton, find_counterexample_tree  # noqa: E402
+from repro.automata.word import NFA, find_counterexample_word  # noqa: E402
+from repro.core.boundedness import bounded_at_depth, decide_boundedness  # noqa: E402
+from repro.core.instances import clear_shared_caches  # noqa: E402
+from repro.core.tree_containment import datalog_contained_in_ucq  # noqa: E402
+from repro.cq.query import ConjunctiveQuery, UnionOfConjunctiveQueries  # noqa: E402
+from repro.datalog.database import Database  # noqa: E402
+from repro.datalog.engine import Engine, EngineConfig  # noqa: E402
+from repro.datalog.parser import parse_atom  # noqa: E402
+from repro.datalog.unfold import expansion_union  # noqa: E402
+from repro.programs import (  # noqa: E402
+    buys_bounded,
+    chain_program,
+    transitive_closure,
+    widget_certified,
+)
+
+BITSET = KernelConfig(backend="bitset")
+REFERENCE = KernelConfig(backend="frozenset")
+
+
+def median_seconds(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def time_kernel_case(name: str, fn, repeats: int):
+    """Time one decision-stack case in the three kernel modes."""
+
+    def seed_like():
+        clear_shared_caches()
+        fn(REFERENCE)
+
+    clear_shared_caches()
+    seed = median_seconds(seed_like, repeats)
+    fn(REFERENCE)  # warm the shared caches
+    reference = median_seconds(lambda: fn(REFERENCE), repeats)
+    fn(BITSET)
+    bitset = median_seconds(lambda: fn(BITSET), repeats)
+    entry = {
+        "name": name,
+        "repeats": repeats,
+        "seed_like_s": round(seed, 6),
+        "reference_s": round(reference, 6),
+        "bitset_s": round(bitset, 6),
+        "speedup": round(seed / bitset, 2) if bitset else None,
+    }
+    print(f"  {name:42s} seed {seed*1000:8.2f}ms  "
+          f"ref {reference*1000:8.2f}ms  bitset {bitset*1000:8.2f}ms  "
+          f"speedup {entry['speedup']}x")
+    return entry
+
+
+def covering_union() -> UnionOfConjunctiveQueries:
+    return UnionOfConjunctiveQueries(
+        [
+            ConjunctiveQuery(parse_atom("p(X0, X1)"), (parse_atom("e0(X0, X1)"),)),
+            ConjunctiveQuery(parse_atom("p(X0, X1)"), (parse_atom("g0(X0, Z)"),)),
+        ]
+    )
+
+
+def containment_suite(repeats: int, smoke: bool):
+    print("containment scaling:")
+    entries = []
+    widths = [1] if smoke else [1, 2]
+    for width in widths:
+        program = chain_program(width)
+        union = covering_union()
+        entries.append(time_kernel_case(
+            f"containment_width{width}",
+            lambda k, p=program, u=union: datalog_contained_in_ucq(p, "p", u, kernel=k),
+            repeats,
+        ))
+    depths = [1] if smoke else [1, 2, 3]
+    program = transitive_closure()
+    for depth in depths:
+        union = expansion_union(program, "p", depth)
+        entries.append(time_kernel_case(
+            f"containment_tc_depth{depth}",
+            lambda k, u=union: datalog_contained_in_ucq(program, "p", u, kernel=k),
+            repeats,
+        ))
+    return entries
+
+
+def boundedness_suite(repeats: int, smoke: bool):
+    print("boundedness:")
+    entries = []
+    cases = [
+        ("boundedness_buys", buys_bounded(), "buys"),
+        ("boundedness_widget", widget_certified(), "ok"),
+    ]
+    for name, program, goal in cases:
+        entries.append(time_kernel_case(
+            name,
+            lambda k, p=program, g=goal: decide_boundedness(p, g, max_depth=3, kernel=k),
+            repeats,
+        ))
+        if smoke:
+            break
+    if not smoke:
+        tc = transitive_closure()
+        entries.append(time_kernel_case(
+            "boundedness_tc_refute_depth3",
+            lambda k: bounded_at_depth(tc, "p", 3, kernel=k),
+            repeats,
+        ))
+    return entries
+
+
+def _random_nta(rng) -> TreeAutomaton:
+    states = [f"s{i}" for i in range(5)]
+    transitions = []
+    for state in states:
+        if rng.random() < 0.8:
+            transitions.append((state, "a", ()))
+        for _ in range(rng.randint(0, 4)):
+            transitions.append(
+                (state, "f", (rng.choice(states), rng.choice(states)))
+            )
+        if rng.random() < 0.5:
+            transitions.append((state, "g", (rng.choice(states),)))
+    return TreeAutomaton.build(
+        ["f", "g", "a"], states, [rng.choice(states)], transitions
+    )
+
+
+def _random_nfa(rng, states: int, density: float = 0.3,
+                symbols: str = "ab") -> NFA:
+    names = [f"s{i}" for i in range(states)]
+    transitions = []
+    for source in names:
+        for symbol in symbols:
+            for target in names:
+                if rng.random() < density:
+                    transitions.append((source, symbol, target))
+    return NFA.build(
+        symbols, names, [names[0]],
+        [n for n in names if rng.random() < 0.4] or [names[-1]],
+        transitions,
+    )
+
+
+def automata_suite(repeats: int, smoke: bool):
+    import random
+
+    print("automata substrate:")
+    entries = []
+    pairs = 4 if smoke else 16
+    rng = random.Random(2024)
+    tree_pairs = [(_random_nta(rng), _random_nta(rng)) for _ in range(pairs)]
+
+    def tree_batch(kernel):
+        for left, right in tree_pairs:
+            find_counterexample_tree(left, right, kernel=kernel)
+
+    entries.append(time_kernel_case("tree_containment_batch", tree_batch, repeats))
+
+    size = 4 if smoke else 16
+    nfa_pairs = [(_random_nfa(rng, size), _random_nfa(rng, size)) for _ in range(pairs)]
+
+    def word_batch(kernel):
+        for left, right in nfa_pairs:
+            find_counterexample_word(left, right, kernel=kernel)
+
+    entries.append(time_kernel_case("word_containment_batch", word_batch, repeats))
+
+    # Sparse, wider-alphabet NFAs: the reachable subset space is large
+    # (hundreds of subset states), which is where the mask-based
+    # construction pays off.
+    det_size = 4 if smoke else 18
+    det_nfas = [_random_nfa(rng, det_size, density=0.1, symbols="abc")
+                for _ in range(4 if smoke else 8)]
+
+    def determinize_batch(kernel):
+        for automaton in det_nfas:
+            automaton.determinize(kernel=kernel)
+
+    entries.append(time_kernel_case("nfa_determinize_batch", determinize_batch, repeats))
+    return entries
+
+
+def plans_suite(repeats: int, smoke: bool):
+    print("evaluation plans:")
+    compiled = Engine(EngineConfig(compiled=True))
+    interpretive = Engine(EngineConfig(compiled=False))
+    program = transitive_closure()
+    length = 60 if smoke else 240
+    database = Database()
+    for i in range(length):
+        database.add("e", (f"v{i}", f"v{i+1}"))
+        database.add("e0", (f"v{i}", f"v{i+1}"))
+
+    entries = []
+    compiled_s = median_seconds(lambda: compiled.evaluate(program, database), repeats)
+    interpretive_s = median_seconds(
+        lambda: interpretive.evaluate(program, database), repeats
+    )
+    entry = {
+        "name": f"tc_chain_{length}",
+        "repeats": repeats,
+        "compiled_s": round(compiled_s, 6),
+        "interpretive_s": round(interpretive_s, 6),
+        "speedup": round(interpretive_s / compiled_s, 2) if compiled_s else None,
+    }
+    print(f"  {entry['name']:42s} compiled {compiled_s*1000:8.2f}ms  "
+          f"interpretive {interpretive_s*1000:8.2f}ms  speedup {entry['speedup']}x")
+    entries.append(entry)
+    return entries
+
+
+def run_metadata():
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except Exception:
+        commit = "unknown"
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "commit": commit,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def append_trajectory(path: Path, record) -> None:
+    trajectory = []
+    if path.exists():
+        try:
+            trajectory = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            trajectory = []
+    trajectory.append(record)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="iterations per timing (median is recorded)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes, single repeat, no JSON write "
+                             "unless --out is given")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory for the BENCH_*.json trajectories "
+                             "(default: repo root; with --smoke: no write)")
+    parser.add_argument("--suite", choices=["all", "automata", "plans"],
+                        default="all")
+    args = parser.parse_args()
+
+    repeats = 1 if args.smoke else args.repeats
+    meta = run_metadata()
+    print(f"run_bench: commit {meta['commit']}, python {meta['python']}, "
+          f"repeats {repeats}{' (smoke)' if args.smoke else ''}")
+
+    automata_entries = []
+    plans_entries = []
+    if args.suite in ("all", "automata"):
+        automata_entries += containment_suite(repeats, args.smoke)
+        automata_entries += boundedness_suite(repeats, args.smoke)
+        automata_entries += automata_suite(repeats, args.smoke)
+    if args.suite in ("all", "plans"):
+        plans_entries += plans_suite(repeats, args.smoke)
+
+    out_dir = args.out
+    if out_dir is None:
+        if args.smoke:
+            return 0
+        out_dir = REPO_ROOT
+    out_dir.mkdir(parents=True, exist_ok=True)
+    if automata_entries:
+        append_trajectory(out_dir / "BENCH_automata.json",
+                          {**meta, "smoke": args.smoke, "entries": automata_entries})
+    if plans_entries:
+        append_trajectory(out_dir / "BENCH_plans.json",
+                          {**meta, "smoke": args.smoke, "entries": plans_entries})
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,7 @@ Quickstart::
     assert is_equivalent_to_nonrecursive(recursive, nonrecursive, goal="buys")
 """
 
+from .automata import KernelConfig, default_kernel, set_default_kernel
 from .datalog import (
     Atom,
     Constant,
@@ -68,6 +69,7 @@ __all__ = [
     "ConjunctiveQuery",
     "Constant",
     "Database",
+    "KernelConfig",
     "Program",
     "Rule",
     "UnionOfConjunctiveQueries",
@@ -79,6 +81,7 @@ __all__ = [
     "cq_contained_in_datalog",
     "cq_equivalent",
     "decide_boundedness",
+    "default_kernel",
     "evaluate",
     "evaluate_cq",
     "is_equivalent_to_nonrecursive",
@@ -92,6 +95,7 @@ __all__ = [
     "parse_program",
     "parse_rule",
     "query",
+    "set_default_kernel",
     "ucq_contained_in",
     "ucq_contained_in_datalog",
     "unfold_nonrecursive",

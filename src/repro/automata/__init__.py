@@ -6,6 +6,14 @@ containment; containment is decided by antichain searches that avoid
 materializing the exponential subset constructions.
 """
 
+from .kernel import (
+    BitAntichain,
+    Interner,
+    KernelConfig,
+    default_kernel,
+    resolve_kernel,
+    set_default_kernel,
+)
 from .word import NFA
 from .word import contained_in as nfa_contained_in
 from .word import contained_in_union as nfa_contained_in_union
@@ -25,11 +33,17 @@ from .tree import contained_in_union as tree_contained_in_union
 from .tree import equivalent as tree_equivalent
 
 __all__ = [
+    "BitAntichain",
     "BottomUpDeterministic",
+    "Interner",
+    "KernelConfig",
     "LabeledTree",
     "NFA",
     "TreeAutomaton",
     "complement",
+    "default_kernel",
+    "resolve_kernel",
+    "set_default_kernel",
     "enumerate_words",
     "find_counterexample_tree",
     "find_counterexample_word",

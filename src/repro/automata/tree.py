@@ -22,6 +22,13 @@ Substrate results implemented here:
 * Proposition 4.6 [Se90] workload: containment, decided by a bottom-up
   *profile* search with antichain pruning (exponential only in the
   right-hand automaton, and only on demand).
+
+The hot loops (productivity fixpoint, profile propagation, antichain
+subsumption) run on the bitset kernel of :mod:`repro.automata.kernel`
+by default: states are interned to dense ids and profiles are int
+bitmasks, so subset checks are single word operations.  The original
+frozenset implementation is kept as the reference path, selectable via
+:class:`~repro.automata.kernel.KernelConfig`.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..datalog.errors import ValidationError
+from .kernel import BitAntichain, Interner, KernelConfig, resolve_kernel, thaw_witness
 
 State = Hashable
 Symbol = Hashable
@@ -52,20 +60,35 @@ class LabeledTree:
         return not self.children
 
     def size(self) -> int:
-        """Number of nodes."""
-        return 1 + sum(child.size() for child in self.children)
+        """Number of nodes (iterative: witness trees can be very deep)."""
+        count = 0
+        stack: List[LabeledTree] = [self]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count
 
     def depth(self) -> int:
         """Number of nodes on the longest root-to-leaf path."""
-        if not self.children:
-            return 1
-        return 1 + max(child.depth() for child in self.children)
+        deepest = 0
+        stack: List[Tuple[LabeledTree, int]] = [(self, 1)]
+        while stack:
+            node, level = stack.pop()
+            if level > deepest:
+                deepest = level
+            for child in node.children:
+                stack.append((child, level + 1))
+        return deepest
 
     def nodes(self):
-        """Preorder traversal."""
-        yield self
-        for child in self.children:
-            yield from child.nodes()
+        """Preorder traversal (iterative, recursion-safe)."""
+        stack: List[LabeledTree] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in reversed(node.children):
+                stack.append(child)
 
     def __str__(self):
         if not self.children:
@@ -91,6 +114,10 @@ class TreeAutomaton:
     ``transitions[(s, a)]`` is the set of child-state tuples available
     when reading label ``a`` in state ``s``; the empty tuple means "s
     accepts a leaf labeled a".
+
+    Instances are frozen; derived structures (the by-symbol edge index
+    and the productive-state set) are computed once and cached on the
+    instance.
     """
 
     alphabet: FrozenSet[Symbol]
@@ -124,24 +151,58 @@ class TreeAutomaton:
         """delta(state, symbol)."""
         return self.transitions.get((state, symbol), frozenset())
 
+    def edges_by_symbol(self) -> Dict[Symbol, List[Tuple[State, Tuple[State, ...]]]]:
+        """``symbol -> [(state, child tuple)]`` index, cached on the
+        (frozen) instance; preserves the transition-table iteration
+        order so all pathways explore edges identically."""
+        cached = self.__dict__.get("_by_symbol")
+        if cached is not None:
+            return cached
+        by_symbol: Dict[Symbol, List[Tuple[State, Tuple[State, ...]]]] = {}
+        for (state, symbol), tuples in self.transitions.items():
+            bucket = by_symbol.setdefault(symbol, [])
+            for tuple_ in tuples:
+                bucket.append((state, tuple_))
+        object.__setattr__(self, "_by_symbol", by_symbol)
+        return by_symbol
+
     # ------------------------------------------------------------------
     # Acceptance.
     # ------------------------------------------------------------------
 
     def _accepting_states(self, tree: LabeledTree) -> FrozenSet[State]:
-        """States from which the automaton accepts *tree* (bottom-up)."""
-        child_sets = [self._accepting_states(child) for child in tree.children]
-        result: Set[State] = set()
-        for (state, symbol), tuples in self.transitions.items():
-            if symbol != tree.label:
+        """States from which the automaton accepts *tree*.
+
+        Bottom-up, iterative (witness trees from the containment search
+        can exceed the recursion limit), memoized over shared subtrees.
+        """
+        by_symbol = self.edges_by_symbol()
+        # Memoized post-order walk (same discipline as thaw_witness):
+        # witness trees share subtrees -- the searches below reuse chain
+        # entries as children -- so each node is evaluated exactly once.
+        memo: Dict[int, FrozenSet[State]] = {}
+        stack: List[LabeledTree] = [tree]
+        while stack:
+            node = stack[-1]
+            key = id(node)
+            if key in memo:
+                stack.pop()
                 continue
-            for tuple_ in tuples:
-                if len(tuple_) != len(child_sets):
+            pending = [c for c in node.children if id(c) not in memo]
+            if pending:
+                stack.extend(pending)
+                continue
+            child_sets = [memo[id(child)] for child in node.children]
+            arity = len(child_sets)
+            result: Set[State] = set()
+            for state, tuple_ in by_symbol.get(node.label, ()):
+                if state in result or len(tuple_) != arity:
                     continue
                 if all(q in child_set for q, child_set in zip(tuple_, child_sets)):
                     result.add(state)
-                    break
-        return frozenset(result)
+            memo[key] = frozenset(result)
+            stack.pop()
+        return memo[id(tree)]
 
     def accepts(self, tree: LabeledTree) -> bool:
         """Membership of *tree* in T(A)."""
@@ -151,29 +212,71 @@ class TreeAutomaton:
     # Proposition 4.5: nonemptiness.
     # ------------------------------------------------------------------
 
-    def productive_states(self) -> FrozenSet[State]:
+    def productive_states(self, kernel: Optional[KernelConfig] = None) -> FrozenSet[State]:
         """States that root an accepting run on some tree (the paper's
-        ``accept(A)`` set), computed as a bottom-up fixpoint."""
-        productive: Set[State] = set()
+        ``accept(A)`` set), computed as a bottom-up fixpoint.
+
+        Cached on the (frozen) automaton: repeated ``is_empty()`` /
+        ``find_tree()`` calls reuse the first computation.  The fixpoint
+        runs on interned state ids and an int bitmask under the bitset
+        kernel (default), and on the original frozenset loop under the
+        reference backend (both produce the same set, so the cache is
+        backend-agnostic).
+        """
+        cached = self.__dict__.get("_productive")
+        if cached is not None:
+            return cached
+        if not resolve_kernel(kernel).bitset:
+            productive_ref: Set[State] = set()
+            changed_ref = True
+            while changed_ref:
+                changed_ref = False
+                for (state, _symbol), tuples in self.transitions.items():
+                    if state in productive_ref:
+                        continue
+                    for tuple_ in tuples:
+                        if all(q in productive_ref for q in tuple_):
+                            productive_ref.add(state)
+                            changed_ref = True
+                            break
+            result = frozenset(productive_ref)
+            object.__setattr__(self, "_productive", result)
+            return result
+        interner = Interner()
+        edges: List[Tuple[int, int]] = []  # (state id, needed-children mask)
+        for (state, _symbol), tuples in self.transitions.items():
+            sid = interner.intern(state)
+            for tuple_ in tuples:
+                need = 0
+                for q in tuple_:
+                    need |= 1 << interner.intern(q)
+                edges.append((sid, need))
+        productive = 0
         changed = True
         while changed:
             changed = False
-            for (state, _symbol), tuples in self.transitions.items():
-                if state in productive:
+            remaining: List[Tuple[int, int]] = []
+            for sid, need in edges:
+                if (productive >> sid) & 1:
                     continue
-                for tuple_ in tuples:
-                    if all(q in productive for q in tuple_):
-                        productive.add(state)
-                        changed = True
-                        break
-        return frozenset(productive)
+                if need & productive == need:
+                    productive |= 1 << sid
+                    changed = True
+                else:
+                    remaining.append((sid, need))
+            edges = remaining
+        result = interner.subset_of(productive)
+        object.__setattr__(self, "_productive", result)
+        return result
 
-    def is_empty(self) -> bool:
+    def is_empty(self, kernel: Optional[KernelConfig] = None) -> bool:
         """True iff T(A) is empty (Proposition 4.5, polynomial time)."""
-        return not (self.productive_states() & self.initial)
+        return not (self.productive_states(kernel=kernel) & self.initial)
 
-    def find_tree(self) -> Optional[LabeledTree]:
+    def find_tree(self, kernel: Optional[KernelConfig] = None) -> Optional[LabeledTree]:
         """A smallest witness tree in T(A), or None when empty."""
+        if self.is_empty(kernel=kernel):
+            return None
         witness: Dict[State, LabeledTree] = {}
         changed = True
         while changed:
@@ -320,9 +423,56 @@ class BottomUpDeterministic:
     def complement(self) -> "BottomUpDeterministic":
         return BottomUpDeterministic(self.source, not self.complemented)
 
-    def reachable_subsets(self, max_subsets: Optional[int] = None) -> FrozenSet[FrozenSet[State]]:
+    def reachable_subsets(self, max_subsets: Optional[int] = None,
+                          kernel: Optional[KernelConfig] = None) -> FrozenSet[FrozenSet[State]]:
         """All subset states reachable on some tree (the materialized
-        determinization).  Exponential; *max_subsets* guards runaways."""
+        determinization).  Exponential; *max_subsets* guards runaways.
+
+        Under the bitset kernel (default) subsets live as int masks and
+        are thawed to frozensets only in the returned value; the
+        frozenset reference path is kept behind the config knob.
+        """
+        if not resolve_kernel(kernel).bitset:
+            return self._reachable_subsets_reference(max_subsets)
+        interner = Interner()
+        # (symbol, arity) -> [(state id, child-id tuple)]
+        edges: Dict[Tuple[Symbol, int], List[Tuple[int, Tuple[int, ...]]]] = {}
+        for (state, symbol), tuples in self.source.transitions.items():
+            sid = interner.intern(state)
+            for tuple_ in tuples:
+                childs = tuple(interner.intern(q) for q in tuple_)
+                edges.setdefault((symbol, len(tuple_)), []).append((sid, childs))
+
+        subsets: Set[int] = set()
+        changed = True
+        while changed:
+            changed = False
+            for (symbol, arity), bucket in edges.items():
+                pool = sorted(subsets)
+                combos: List[Tuple[int, ...]] = [()]
+                for _ in range(arity):
+                    combos = [prefix + (u,) for prefix in combos for u in pool]
+                for combo in combos:
+                    target = 0
+                    for sid, childs in bucket:
+                        if (target >> sid) & 1:
+                            continue
+                        for q, u in zip(childs, combo):
+                            if not (u >> q) & 1:
+                                break
+                        else:
+                            target |= 1 << sid
+                    if target not in subsets:
+                        subsets.add(target)
+                        changed = True
+                        if max_subsets is not None and len(subsets) > max_subsets:
+                            raise ValidationError(
+                                "subset construction exceeded "
+                                f"{max_subsets} states"
+                            )
+        return frozenset(interner.subset_of(mask) for mask in subsets)
+
+    def _reachable_subsets_reference(self, max_subsets: Optional[int]) -> FrozenSet[FrozenSet[State]]:
         by_symbol: Dict[Symbol, List[Tuple[State, Tuple[State, ...]]]] = {}
         for (state, symbol), tuples in self.source.transitions.items():
             for tuple_ in tuples:
@@ -367,7 +517,8 @@ def complement(automaton: TreeAutomaton) -> BottomUpDeterministic:
 # ----------------------------------------------------------------------
 
 class _Antichain:
-    """Per-key antichains of minimal frozensets with witness payloads."""
+    """Per-key antichains of minimal frozensets with witness payloads
+    (reference-path pruning structure)."""
 
     def __init__(self):
         self._chains: Dict[State, List[Tuple[FrozenSet[State], LabeledTree]]] = {}
@@ -396,7 +547,8 @@ class _Antichain:
 
 
 def find_counterexample_tree(left: TreeAutomaton, right: TreeAutomaton,
-                             use_antichain: bool = True) -> Optional[LabeledTree]:
+                             use_antichain: bool = True,
+                             kernel: Optional[KernelConfig] = None) -> Optional[LabeledTree]:
     """A tree in T(left) - T(right), or None when contained.
 
     Works bottom-up over *profiles* ``(p, U)``: p is a left state that
@@ -406,15 +558,98 @@ def find_counterexample_tree(left: TreeAutomaton, right: TreeAutomaton,
     ``use_antichain`` profiles dominated by a subset profile are pruned
     (sound because the profile successor map is monotone in U); without
     it the full exact profile space is explored (ablation mode).
+
+    ``kernel`` selects the bitset kernel (default) or the frozenset
+    reference path; both explore the same space and agree on verdicts.
     """
-    by_symbol_left: Dict[Symbol, List[Tuple[State, Tuple[State, ...]]]] = {}
-    for (state, symbol), tuples in left.transitions.items():
-        for tuple_ in tuples:
-            by_symbol_left.setdefault(symbol, []).append((state, tuple_))
-    by_symbol_right: Dict[Symbol, List[Tuple[State, Tuple[State, ...]]]] = {}
+    config = resolve_kernel(kernel)
+    if config.bitset:
+        return _find_counterexample_tree_bitset(
+            left, right, use_antichain, config.memoize
+        )
+    return _find_counterexample_tree_reference(left, right, use_antichain)
+
+
+def _thaw_witness(node: Tuple) -> LabeledTree:
+    """Build the LabeledTree of a lazy ``(symbol, children)`` witness."""
+    return thaw_witness(node, LabeledTree)
+
+
+def _find_counterexample_tree_bitset(left: TreeAutomaton, right: TreeAutomaton,
+                                     use_antichain: bool,
+                                     memoize: bool) -> Optional[LabeledTree]:
+    by_symbol_left = left.edges_by_symbol()
+    interner = Interner()
+    # (symbol, arity) -> [(state bit, child-id tuple)]
+    right_edges: Dict[Tuple[Symbol, int], List[Tuple[int, Tuple[int, ...]]]] = {}
     for (state, symbol), tuples in right.transitions.items():
+        bit = 1 << interner.intern(state)
         for tuple_ in tuples:
-            by_symbol_right.setdefault(symbol, []).append((state, tuple_))
+            childs = tuple(interner.intern(q) for q in tuple_)
+            right_edges.setdefault((symbol, len(tuple_)), []).append((bit, childs))
+    right_initial = interner.mask_of(right.initial)
+    left_initial = left.initial
+
+    profile_cache: Dict[Tuple[Symbol, Tuple[int, ...]], int] = {}
+
+    def right_profile(symbol: Symbol, child_masks: Tuple[int, ...]) -> int:
+        key = (symbol, child_masks)
+        if memoize:
+            cached = profile_cache.get(key)
+            if cached is not None:
+                return cached
+        mask = 0
+        for bit, childs in right_edges.get((symbol, len(child_masks)), ()):
+            if mask & bit:
+                continue
+            for q, u in zip(childs, child_masks):
+                if not (u >> q) & 1:
+                    break
+            else:
+                mask |= bit
+        if memoize:
+            profile_cache[key] = mask
+        return mask
+
+    chains = BitAntichain()
+    seen_exact: Set[Tuple[State, int]] = set()
+
+    changed = True
+    while changed:
+        changed = False
+        for symbol, edges in by_symbol_left.items():
+            for state, tuple_ in edges:
+                if tuple_:
+                    options = [chains.items(q) for q in tuple_]
+                    if any(not opts for opts in options):
+                        continue
+                    combos: List[Tuple[Tuple[int, Tuple], ...]] = [()]
+                    for opts in options:
+                        combos = [prefix + (entry,) for prefix in combos for entry in opts]
+                else:
+                    combos = [()]
+                for combo in combos:
+                    child_masks = tuple(entry[0] for entry in combo)
+                    subset = right_profile(symbol, child_masks)
+                    witness = (symbol, tuple(entry[1] for entry in combo))
+                    if state in left_initial and not (subset & right_initial):
+                        return _thaw_witness(witness)
+                    if use_antichain:
+                        if chains.insert(state, subset, witness):
+                            changed = True
+                    else:
+                        key = (state, subset)
+                        if key not in seen_exact:
+                            seen_exact.add(key)
+                            chains.append(state, subset, witness)
+                            changed = True
+    return None
+
+
+def _find_counterexample_tree_reference(left: TreeAutomaton, right: TreeAutomaton,
+                                        use_antichain: bool) -> Optional[LabeledTree]:
+    by_symbol_left = left.edges_by_symbol()
+    by_symbol_right = right.edges_by_symbol()
 
     chains = _Antichain()
     seen_exact: Set[Tuple[State, FrozenSet[State]]] = set()
@@ -462,22 +697,28 @@ def find_counterexample_tree(left: TreeAutomaton, right: TreeAutomaton,
 
 
 def contained_in(left: TreeAutomaton, right: TreeAutomaton,
-                 use_antichain: bool = True) -> bool:
+                 use_antichain: bool = True,
+                 kernel: Optional[KernelConfig] = None) -> bool:
     """T(left) subseteq T(right) (Proposition 4.6 workload)."""
-    return find_counterexample_tree(left, right, use_antichain=use_antichain) is None
+    return find_counterexample_tree(
+        left, right, use_antichain=use_antichain, kernel=kernel
+    ) is None
 
 
 def contained_in_union(left: TreeAutomaton,
-                       rights: Sequence[TreeAutomaton]) -> bool:
+                       rights: Sequence[TreeAutomaton],
+                       kernel: Optional[KernelConfig] = None) -> bool:
     """T(left) subseteq union of T(right_i)."""
     if not rights:
-        return left.is_empty()
+        return left.is_empty(kernel=kernel)
     combined = rights[0]
     for automaton in rights[1:]:
         combined = combined.union(automaton)
-    return contained_in(left, combined)
+    return contained_in(left, combined, kernel=kernel)
 
 
-def equivalent(left: TreeAutomaton, right: TreeAutomaton) -> bool:
+def equivalent(left: TreeAutomaton, right: TreeAutomaton,
+               kernel: Optional[KernelConfig] = None) -> bool:
     """Language equality via mutual containment."""
-    return contained_in(left, right) and contained_in(right, left)
+    return (contained_in(left, right, kernel=kernel)
+            and contained_in(right, left, kernel=kernel))

@@ -10,12 +10,22 @@ Implements the substrate results quoted by the paper:
   antichain search that avoids materializing the subset automaton.
 
 States may be arbitrary hashable objects; symbols likewise.
+
+The subset-heavy procedures (determinization and the antichain
+containment search) run on the bitset kernel of
+:mod:`repro.automata.kernel` by default -- right-hand states interned
+to dense ids, subsets as int bitmasks, per-(state, symbol) successor
+masks memoized -- with the frozenset implementation kept as the
+reference path behind :class:`~repro.automata.kernel.KernelConfig`.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .kernel import Interner, KernelConfig, resolve_kernel
 
 State = Hashable
 Symbol = Hashable
@@ -184,13 +194,26 @@ class NFA:
             transitions={k: frozenset(v) for k, v in transitions.items()},
         )
 
-    def determinize(self) -> "NFA":
+    def successor_masks(self, interner: Interner) -> Dict[Tuple[int, Symbol], int]:
+        """``(state id, symbol) -> successor bitmask`` over *interner*
+        (which is extended with any states it has not seen)."""
+        table: Dict[Tuple[int, Symbol], int] = {}
+        for (source, symbol), targets in self.transitions.items():
+            table[(interner.intern(source), symbol)] = interner.mask_of(targets)
+        return table
+
+    def determinize(self, kernel: Optional[KernelConfig] = None) -> "NFA":
         """An equivalent deterministic automaton (subset construction).
 
         Only subsets reachable from the initial subset are built; the
         empty subset acts as an explicit sink so the result is complete
-        over the alphabet (required for complementation).
+        over the alphabet (required for complementation).  The bitset
+        kernel runs the construction on int masks and thaws them to the
+        public frozenset states at the end.
         """
+        config = resolve_kernel(kernel)
+        if config.bitset:
+            return self._determinize_bitset()
         start = frozenset(self.initial)
         subsets: Set[FrozenSet[State]] = {start}
         frontier: List[FrozenSet[State]] = [start]
@@ -209,6 +232,47 @@ class NFA:
             initial=frozenset([start]),
             accepting=frozenset(s for s in subsets if s & self.accepting),
             transitions=transitions,
+        )
+
+    def _determinize_bitset(self) -> "NFA":
+        interner = Interner()
+        successors = self.successor_masks(interner)
+        start = interner.mask_of(self.initial)
+        accepting_mask = interner.mask_of(self.accepting)
+        subsets: Set[int] = {start}
+        frontier: List[int] = [start]
+        mask_transitions: Dict[Tuple[int, Symbol], int] = {}
+        while frontier:
+            mask = frontier.pop()
+            remaining = mask
+            images: Dict[Symbol, int] = {symbol: 0 for symbol in self.alphabet}
+            while remaining:
+                low = remaining & -remaining
+                sid = low.bit_length() - 1
+                remaining ^= low
+                for symbol in self.alphabet:
+                    succ = successors.get((sid, symbol))
+                    if succ:
+                        images[symbol] |= succ
+            for symbol, target in images.items():
+                mask_transitions[(mask, symbol)] = target
+                if target not in subsets:
+                    subsets.add(target)
+                    frontier.append(target)
+        thawed: Dict[int, FrozenSet[State]] = {
+            mask: interner.subset_of(mask) for mask in subsets
+        }
+        return NFA(
+            alphabet=self.alphabet,
+            states=frozenset(thawed.values()),
+            initial=frozenset([thawed[start]]),
+            accepting=frozenset(
+                thawed[mask] for mask in subsets if mask & accepting_mask
+            ),
+            transitions={
+                (thawed[mask], symbol): frozenset([thawed[target]])
+                for (mask, symbol), target in mask_transitions.items()
+            },
         )
 
     def complement(self) -> "NFA":
@@ -252,7 +316,8 @@ def contained_in_via_complement(left: NFA, right: NFA) -> bool:
     return left.intersection(right.complement()).is_empty()
 
 
-def contained_in(left: NFA, right: NFA) -> bool:
+def contained_in(left: NFA, right: NFA,
+                 kernel: Optional[KernelConfig] = None) -> bool:
     """L(left) subseteq L(right) by forward antichain search.
 
     Explores pairs ``(p, V)`` where p is a *left* state reachable on
@@ -262,11 +327,79 @@ def contained_in(left: NFA, right: NFA) -> bool:
     an already-seen V for the same p are pruned (their successors can
     only be larger, hence harder to turn into counterexamples).
     """
-    return find_counterexample_word(left, right) is None
+    return find_counterexample_word(left, right, kernel=kernel) is None
 
 
-def find_counterexample_word(left: NFA, right: NFA) -> Optional[List[Symbol]]:
+def find_counterexample_word(left: NFA, right: NFA,
+                             kernel: Optional[KernelConfig] = None) -> Optional[List[Symbol]]:
     """A word in L(left) - L(right), or None when contained."""
+    config = resolve_kernel(kernel)
+    if config.bitset:
+        return _find_counterexample_word_bitset(left, right, config.memoize)
+    return _find_counterexample_word_reference(left, right)
+
+
+def _find_counterexample_word_bitset(left: NFA, right: NFA,
+                                     memoize: bool) -> Optional[List[Symbol]]:
+    interner = Interner()
+    successors = right.successor_masks(interner)
+    start_v = interner.mask_of(right.initial)
+    accepting_mask = interner.mask_of(right.accepting)
+    left_accepting = left.accepting
+
+    step_cache: Dict[Tuple[int, Symbol], int] = {}
+
+    def step(mask: int, symbol: Symbol) -> int:
+        key = (mask, symbol)
+        if memoize:
+            cached = step_cache.get(key)
+            if cached is not None:
+                return cached
+        image = 0
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            succ = successors.get((low.bit_length() - 1, symbol))
+            if succ:
+                image |= succ
+        if memoize:
+            step_cache[key] = image
+        return image
+
+    antichains: Dict[State, List[int]] = {}
+
+    def dominated(state: State, mask: int) -> bool:
+        return any(known & mask == known for known in antichains.get(state, ()))
+
+    def insert(state: State, mask: int) -> None:
+        chain = antichains.setdefault(state, [])
+        chain[:] = [known for known in chain if mask & known != mask]
+        chain.append(mask)
+
+    frontier: deque = deque()
+    for p in left.initial:
+        if p in left_accepting and not (start_v & accepting_mask):
+            return []
+        insert(p, start_v)
+        frontier.append((p, start_v, []))
+
+    while frontier:
+        p, v, word = frontier.popleft()
+        for symbol in left.alphabet:
+            next_v = step(v, symbol)
+            for q in left.successors(p, symbol):
+                if dominated(q, next_v):
+                    continue
+                next_word = word + [symbol]
+                if q in left_accepting and not (next_v & accepting_mask):
+                    return next_word
+                insert(q, next_v)
+                frontier.append((q, next_v, next_word))
+    return None
+
+
+def _find_counterexample_word_reference(left: NFA, right: NFA) -> Optional[List[Symbol]]:
     start_v = frozenset(right.initial)
     antichains: Dict[State, List[FrozenSet[State]]] = {}
 
@@ -300,19 +433,22 @@ def find_counterexample_word(left: NFA, right: NFA) -> Optional[List[Symbol]]:
     return None
 
 
-def contained_in_union(left: NFA, rights: Sequence[NFA]) -> bool:
+def contained_in_union(left: NFA, rights: Sequence[NFA],
+                       kernel: Optional[KernelConfig] = None) -> bool:
     """L(left) subseteq union of the rights (pairwise union, then antichain)."""
     if not rights:
         return left.is_empty()
     combined = rights[0]
     for automaton in rights[1:]:
         combined = combined.union(automaton)
-    return contained_in(left, combined)
+    return contained_in(left, combined, kernel=kernel)
 
 
-def equivalent(left: NFA, right: NFA) -> bool:
+def equivalent(left: NFA, right: NFA,
+               kernel: Optional[KernelConfig] = None) -> bool:
     """Language equality via mutual containment."""
-    return contained_in(left, right) and contained_in(right, left)
+    return (contained_in(left, right, kernel=kernel)
+            and contained_in(right, left, kernel=kernel))
 
 
 def enumerate_words(automaton: NFA, max_length: int,

@@ -19,7 +19,7 @@ from .materialize import (
     materialize_fixpoint,
     theorem_5_11_via_substrate,
 )
-from .instances import InstanceEnumerator, Label
+from .instances import InstanceEnumerator, Label, clear_shared_caches
 from .ptree_automaton import (
     PTreeAutomaton,
     labeled_tree_to_proof_tree,
@@ -46,6 +46,7 @@ __all__ = [
     "Label",
     "PTreeAutomaton",
     "bounded_at_depth",
+    "clear_shared_caches",
     "contained_in_cq",
     "contained_in_nonrecursive",
     "contained_in_ucq",

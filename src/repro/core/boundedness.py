@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from itertools import islice
 from typing import Optional
 
+from ..automata.kernel import KernelConfig
 from ..cq.canonical import canonical_database
 from ..cq.query import UnionOfConjunctiveQueries
 from ..datalog.engine import Engine, evaluate
@@ -52,7 +53,8 @@ class BoundednessResult:
 
 
 def bounded_at_depth(program: Program, goal: str, depth: int,
-                     method: str = "auto") -> bool:
+                     method: str = "auto",
+                     kernel: Optional[KernelConfig] = None) -> bool:
     """Is Pi equivalent to its expansions of height <= depth?
 
     Only the forward containment is checked; the union of expansions is
@@ -63,7 +65,8 @@ def bounded_at_depth(program: Program, goal: str, depth: int,
         # No expansion exists at all: the goal relation is empty, which
         # is trivially bounded.
         return True
-    return contained_in_ucq(program, goal, union, method=method).contained
+    return contained_in_ucq(program, goal, union, method=method,
+                            kernel=kernel).contained
 
 
 _PROBE_LIMIT = 64        # cap on probed expansions per depth
@@ -99,7 +102,8 @@ def _engine_refutes_depth(program: Program, goal: str, depth: int,
 
 def decide_boundedness(program: Program, goal: str, max_depth: int = 4,
                        method: str = "auto",
-                       engine: Optional[Engine] = None) -> BoundednessResult:
+                       engine: Optional[Engine] = None,
+                       kernel: Optional[KernelConfig] = None) -> BoundednessResult:
     """Search for a boundedness certificate up to ``max_depth``.
 
     Returns ``bounded=True`` with the certified depth and the
@@ -126,6 +130,7 @@ def decide_boundedness(program: Program, goal: str, max_depth: int = 4,
         if all_safe and _engine_refutes_depth(program, goal, depth, union,
                                               probe_engine):
             continue
-        if contained_in_ucq(program, goal, union, method=method).contained:
+        if contained_in_ucq(program, goal, union, method=method,
+                            kernel=kernel).contained:
             return BoundednessResult(bounded=True, depth=depth, witness_union=union)
     return BoundednessResult(bounded=None)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from ..automata.kernel import KernelConfig
 from ..cq.canonical import canonical_database
 from ..cq.query import ConjunctiveQuery, UnionOfConjunctiveQueries
 from ..datalog.database import Database
@@ -36,42 +37,47 @@ from .word_path import datalog_contained_in_ucq_linear, is_chain_program
 def contained_in_ucq(program: Program, goal: str,
                      union: UnionOfConjunctiveQueries,
                      method: str = "auto",
-                     use_antichain: bool = True) -> ContainmentResult:
+                     use_antichain: bool = True,
+                     kernel: Optional[KernelConfig] = None) -> ContainmentResult:
     """Decide ``Q_Pi subseteq union`` (Theorem 5.12).
 
     ``method``: ``"tree"`` forces the tree-automaton pathway, ``"word"``
     the word-automaton pathway (chain-form programs only), ``"auto"``
-    picks the word pathway when available.
+    picks the word pathway when available.  ``kernel`` selects the
+    automaton kernel backend (bitset by default) for either pathway.
     """
     program.require_goal(goal)
     if method not in ("auto", "tree", "word"):
         raise ValidationError(f"unknown containment method {method!r}")
     if method == "word" or (method == "auto" and is_chain_program(program)):
         return datalog_contained_in_ucq_linear(
-            program, goal, union, use_antichain=use_antichain
+            program, goal, union, use_antichain=use_antichain, kernel=kernel
         )
-    return datalog_contained_in_ucq(program, goal, union, use_antichain=use_antichain)
+    return datalog_contained_in_ucq(program, goal, union,
+                                    use_antichain=use_antichain, kernel=kernel)
 
 
 def contained_in_cq(program: Program, goal: str, theta: ConjunctiveQuery,
                     method: str = "auto",
-                    use_antichain: bool = True) -> ContainmentResult:
+                    use_antichain: bool = True,
+                    kernel: Optional[KernelConfig] = None) -> ContainmentResult:
     """Decide ``Q_Pi subseteq theta`` (Corollary 5.7)."""
     union = UnionOfConjunctiveQueries([theta], theta.arity)
     return contained_in_ucq(program, goal, union, method=method,
-                            use_antichain=use_antichain)
+                            use_antichain=use_antichain, kernel=kernel)
 
 
 def contained_in_nonrecursive(program: Program, goal: str,
                               nonrecursive: Program,
                               nonrecursive_goal: Optional[str] = None,
-                              method: str = "auto") -> ContainmentResult:
+                              method: str = "auto",
+                              kernel: Optional[KernelConfig] = None) -> ContainmentResult:
     """Decide ``Q_Pi subseteq Q'_Pi'`` for nonrecursive Pi'
     (Theorem 6.4): rewrite Pi' as a union of conjunctive queries (the
     potentially exponential step whose necessity Section 6 proves) and
     decide containment in the union."""
     union = unfold_nonrecursive(nonrecursive, nonrecursive_goal or goal)
-    return contained_in_ucq(program, goal, union, method=method)
+    return contained_in_ucq(program, goal, union, method=method, kernel=kernel)
 
 
 # ----------------------------------------------------------------------

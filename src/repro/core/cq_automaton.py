@@ -35,6 +35,7 @@ identical future behaviour and preserves the recognized tree language.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from itertools import product
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -55,11 +56,28 @@ class CQState:
     ``beta`` holds indices into the query's body (index-based so that
     repeated atoms in theta are tracked as distinct obligations);
     ``mapping`` is a frozen set of (variable, image) pairs.
+
+    States are small and extremely hot (every profile subset holds
+    them), so the class is slotted and its hash -- over an atom, an
+    int frozenset, and a pair frozenset -- is computed once and cached.
+    :class:`CQAutomaton` additionally hash-conses the states it
+    creates, so identical states are usually the *same* object and
+    equality short-circuits on identity inside dict/set probes.
     """
+
+    __slots__ = ("atom", "beta", "mapping", "_hash")
 
     atom: Atom
     beta: FrozenSet[int]
     mapping: MappingItems
+
+    def __hash__(self):
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.atom, self.beta, self.mapping))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def mapping_dict(self) -> Dict[Variable, Term]:
         return dict(self.mapping)
@@ -88,6 +106,44 @@ class CQAutomaton:
         self._atom_vars: Tuple[FrozenSet[Variable], ...] = tuple(
             atom.variable_set() for atom in self._atoms
         )
+        # Hash-consed states and memoized per-(state, label) successor
+        # tuples: every decision procedure above this layer re-asks the
+        # same questions, so both caches are shared automaton-wide.
+        self._state_intern: Dict[Tuple[Atom, FrozenSet[int], MappingItems], CQState] = {}
+        self._successor_cache: Dict[Tuple[CQState, Label], Tuple[Tuple[CQState, ...], ...]] = {}
+        # Per-label compiled data ((predicate, arity)-indexed EDB atoms
+        # and child argument sets) and per-beta live-variable sets; the
+        # enumerator reuses label objects, so both amortize globally.
+        self._label_cache: Dict[Label, Tuple[Dict, Tuple[FrozenSet[Term], ...]]] = {}
+        self._live_cache: Dict[FrozenSet[int], FrozenSet[Variable]] = {}
+        self._atom_keys: Tuple[Tuple[str, int], ...] = tuple(
+            (atom.predicate, atom.arity) for atom in self._atoms
+        )
+
+    def _label_info(self, label: Label) -> Tuple[Dict, Tuple[FrozenSet[Term], ...]]:
+        info = self._label_cache.get(label)
+        if info is None:
+            edb_index: Dict[Tuple[str, int], List[Tuple[Term, ...]]] = {}
+            for target in label.edb_atoms:
+                edb_index.setdefault(
+                    (target.predicate, target.arity), []
+                ).append(target.args)
+            child_arg_sets = tuple(
+                frozenset(child.args) for child in label.idb_atoms
+            )
+            info = (edb_index, child_arg_sets)
+            self._label_cache[label] = info
+        return info
+
+    def _make_state(self, atom: Atom, beta: FrozenSet[int],
+                    mapping: MappingItems) -> CQState:
+        """The canonical (hash-consed) state with these components."""
+        key = (atom, beta, mapping)
+        state = self._state_intern.get(key)
+        if state is None:
+            state = CQState(atom, beta, mapping)
+            self._state_intern[key] = state
+        return state
 
     # ------------------------------------------------------------------
     # Start states (one per proof-tree root atom).
@@ -112,30 +168,37 @@ class CQAutomaton:
             elif term != target:
                 return None
         beta = frozenset(range(len(self._atoms)))
-        return CQState(root_atom, beta, self._restrict(seed, beta))
+        return self._make_state(root_atom, beta, self._restrict(seed, beta))
+
+    def _live_vars(self, beta: FrozenSet[int]) -> FrozenSet[Variable]:
+        """Variables still occurring in some unmapped atom (cached)."""
+        live = self._live_cache.get(beta)
+        if live is None:
+            collected: Set[Variable] = set()
+            for index in beta:
+                collected.update(self._atom_vars[index])
+            live = frozenset(collected)
+            self._live_cache[beta] = live
+        return live
 
     def _restrict(self, mapping: Dict[Variable, Term], beta: FrozenSet[int]) -> MappingItems:
         """Keep only images of variables still occurring in beta."""
-        live: Set[Variable] = set()
-        for index in beta:
-            live.update(self._atom_vars[index])
+        live = self._live_vars(beta)
         return frozenset((v, t) for v, t in mapping.items() if v in live)
 
     # ------------------------------------------------------------------
     # Transitions.
     # ------------------------------------------------------------------
 
-    def _map_atom_options(self, index: int, label: Label,
+    def _map_atom_options(self, index: int, edb_index: Dict,
                           mapping: Dict[Variable, Term]) -> Iterator[Dict[Variable, Term]]:
         """Ways to map theta-atom *index* into the EDB atoms of the
         label, each yielding the extended mapping."""
-        atom = self._atoms[index]
-        for target in label.edb_atoms:
-            if target.predicate != atom.predicate or target.arity != atom.arity:
-                continue
+        atom_args = self._atoms[index].args
+        for target_args in edb_index.get(self._atom_keys[index], ()):
             extended = dict(mapping)
             ok = True
-            for term, image in zip(atom.args, target.args):
+            for term, image in zip(atom_args, target_args):
                 if is_variable(term):
                     known = extended.get(term)
                     if known is None:
@@ -149,10 +212,16 @@ class CQAutomaton:
             if ok:
                 yield extended
 
-    def _partitions(self, beta: Sequence[int], label: Label,
-                    mapping: Dict[Variable, Term]) -> Iterator[Tuple[FrozenSet[int], Dict[Variable, Term]]]:
+    def _partitions(self, beta: Sequence[int], edb_index: Dict,
+                    mapping: Dict[Variable, Term],
+                    leaf: bool = False) -> Iterator[Tuple[FrozenSet[int], Dict[Variable, Term]]]:
         """Enumerate (remaining atoms, M1) after mapping a subset of
-        beta into the label's EDB atoms (step 1 of the transition)."""
+        beta into the label's EDB atoms (step 1 of the transition).
+
+        With ``leaf`` the defer branch is pruned: a leaf label accepts
+        only when beta maps away entirely, so partitions with deferred
+        atoms would be discarded by the caller anyway.
+        """
         beta = sorted(beta)
 
         def walk(position: int, current: Dict[Variable, Term],
@@ -162,9 +231,10 @@ class CQAutomaton:
                 return
             index = beta[position]
             # Option 1: defer the atom to the children.
-            yield from walk(position + 1, current, deferred + [index])
+            if not leaf:
+                yield from walk(position + 1, current, deferred + [index])
             # Option 2: map it into this node's EDB atoms now.
-            for extended in self._map_atom_options(index, label, current):
+            for extended in self._map_atom_options(index, edb_index, current):
                 yield from walk(position + 1, extended, deferred)
 
         yield from walk(0, dict(mapping), [])
@@ -178,16 +248,18 @@ class CQAutomaton:
         """
         if state.atom != label.atom:
             return
+        edb_index, child_arg_sets = self._label_info(label)
+        if label.is_leaf():
+            for _rest, _mapping in self._partitions(
+                state.beta, edb_index, state.mapping_dict(), leaf=True
+            ):
+                yield ()
+                return
+            return
         seen: Set[Tuple[CQState, ...]] = set()
         children = label.idb_atoms
-        child_arg_sets = [frozenset(child.args) for child in children]
-        for rest, mapping1 in self._partitions(state.beta, label, state.mapping_dict()):
-            if label.is_leaf():
-                if not rest:
-                    if () not in seen:
-                        seen.add(())
-                        yield ()
-                continue
+        for rest, mapping1 in self._partitions(state.beta, edb_index,
+                                               state.mapping_dict()):
             rest_list = sorted(rest)
             for assignment in product(range(len(children)), repeat=len(rest_list)):
                 placement: Dict[int, int] = dict(zip(rest_list, assignment))
@@ -252,12 +324,44 @@ class CQAutomaton:
         for child_atom, beta in zip(children, per_child):
             beta_frozen = frozenset(beta)
             states.append(
-                CQState(child_atom, beta_frozen, self._restrict(mapping_final, beta_frozen))
+                self._make_state(
+                    child_atom, beta_frozen,
+                    self._restrict(mapping_final, beta_frozen),
+                )
             )
         return tuple(states)
+
+    def successors_cached(self, state: CQState, label: Label) -> Tuple[Tuple[CQState, ...], ...]:
+        """Memoized, materialized ``successors``.
+
+        The transition relation of ``A^theta`` depends only on
+        ``(state, label)``; enumerating it walks the exponential
+        partition/guess space, so every caller above this layer (the
+        union automaton, the linear word pathway, the bitset profile
+        fixpoint) should go through this cache.
+        """
+        key = (state, label)
+        cached = self._successor_cache.get(key)
+        if cached is None:
+            cached = tuple(self.successors(state, label))
+            self._successor_cache[key] = cached
+        return cached
 
     def accepts_leaf(self, state: CQState, label: Label) -> bool:
         """Leaf acceptance: beta maps away entirely into the label."""
         if not label.is_leaf():
             return False
-        return any(True for _ in self.successors(state, label))
+        return bool(self.successors_cached(state, label))
+
+
+@lru_cache(maxsize=512)
+def shared_cq_automaton(program: Program, goal: str,
+                        theta: ConjunctiveQuery) -> CQAutomaton:
+    """A process-wide query automaton per (program, goal, theta).
+
+    Expansion unions grow monotonically with the probed depth, so the
+    boundedness search and repeated containment calls keep re-creating
+    automata for the same disjuncts; sharing them also shares their
+    hash-consed states and successor caches.
+    """
+    return CQAutomaton(program, goal, theta)

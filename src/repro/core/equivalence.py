@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..automata.kernel import KernelConfig
 from ..cq.query import UnionOfConjunctiveQueries
 from ..datalog.analysis import is_nonrecursive, is_recursive
 from ..datalog.engine import Engine
@@ -52,7 +53,8 @@ def is_equivalent_to_nonrecursive(program: Program, nonrecursive: Program,
                                   goal: str,
                                   nonrecursive_goal: Optional[str] = None,
                                   method: str = "auto",
-                                  engine: Optional[Engine] = None) -> EquivalenceResult:
+                                  engine: Optional[Engine] = None,
+                                  kernel: Optional[KernelConfig] = None) -> EquivalenceResult:
     """Decide ``Pi == Pi'`` for a (possibly recursive) Pi and a
     nonrecursive Pi' (Theorem 6.5).
 
@@ -75,7 +77,7 @@ def is_equivalent_to_nonrecursive(program: Program, nonrecursive: Program,
 
     union = unfold_nonrecursive(nonrecursive, nonrecursive_goal)
     backward = ucq_contained_in_datalog(union, program, goal, engine=engine)
-    forward = contained_in_ucq(program, goal, union, method=method)
+    forward = contained_in_ucq(program, goal, union, method=method, kernel=kernel)
     stats = dict(forward.stats)
     stats["union_disjuncts"] = len(union)
     stats["union_size"] = union.size()
@@ -91,12 +93,13 @@ def is_equivalent_to_nonrecursive(program: Program, nonrecursive: Program,
 def equivalent_to_ucq(program: Program, goal: str,
                       union: UnionOfConjunctiveQueries,
                       method: str = "auto",
-                      engine: Optional[Engine] = None) -> EquivalenceResult:
+                      engine: Optional[Engine] = None,
+                      kernel: Optional[KernelConfig] = None) -> EquivalenceResult:
     """Decide ``Pi == union`` directly against a union of conjunctive
     queries (the Theorem 5.12 form of the problem)."""
     program.require_goal(goal)
     backward = ucq_contained_in_datalog(union, program, goal, engine=engine)
-    forward = contained_in_ucq(program, goal, union, method=method)
+    forward = contained_in_ucq(program, goal, union, method=method, kernel=kernel)
     return EquivalenceResult(
         equivalent=forward.contained and backward,
         forward_holds=forward.contained,

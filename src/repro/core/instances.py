@@ -28,12 +28,27 @@ class Label:
 
     ``idb_atoms`` are the IDB atoms of rho's body in order (the child
     goals); an empty tuple makes this a leaf symbol.
+
+    Labels key every transition cache in the decision stack, so the
+    class is slotted and its (rule-instance-sized) hash is computed
+    once and cached; the enumerator below reuses label objects, so the
+    cache amortizes across the whole search.
     """
+
+    __slots__ = ("atom", "rule", "idb_atoms", "edb_atoms", "_hash")
 
     atom: Atom
     rule: Rule
     idb_atoms: Tuple[Atom, ...]
     edb_atoms: Tuple[Atom, ...]
+
+    def __hash__(self):
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.atom, self.rule, self.idb_atoms, self.edb_atoms))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def is_leaf(self) -> bool:
         return not self.idb_atoms
@@ -110,3 +125,31 @@ class InstanceEnumerator:
         from ..trees.proof import root_atoms
 
         return sum(len(self.labels_for(atom)) for atom in root_atoms(self._program, goal))
+
+
+@lru_cache(maxsize=64)
+def shared_enumerator(program: Program) -> InstanceEnumerator:
+    """A process-wide enumerator per program value.
+
+    ``Program`` is a frozen dataclass, so equal programs share one
+    enumerator -- and hence one label cache -- across repeated
+    containment calls (the boundedness search rebuilds the same
+    automata for every probed depth).  The enumerator only ever grows
+    monotone caches, so sharing is semantically transparent.
+    """
+    return InstanceEnumerator(program)
+
+
+def clear_shared_caches() -> None:
+    """Drop the process-wide automaton caches.
+
+    Used by the benchmark harness to measure cold-start behaviour and
+    available to long-running services as a memory valve.  Imported
+    lazily to avoid import cycles.
+    """
+    from .cq_automaton import shared_cq_automaton
+    from .ptree_automaton import shared_ptree_automaton
+
+    shared_enumerator.cache_clear()
+    shared_ptree_automaton.cache_clear()
+    shared_cq_automaton.cache_clear()

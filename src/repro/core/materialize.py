@@ -69,7 +69,7 @@ def materialize_cq_automaton(program: Program, goal: str,
             continue
         processed.add(state)
         for label in ptrees.enumerator.labels_for(state.atom):
-            for children in automaton.successors(state, label):
+            for children in automaton.successors_cached(state, label):
                 alphabet.add(label)
                 transitions.append((state, label, children))
                 for child in children:

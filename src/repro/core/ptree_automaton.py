@@ -16,7 +16,8 @@ reports it without materializing.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Set, Tuple
+from functools import lru_cache
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..automata.tree import LabeledTree, TreeAutomaton
 from ..datalog.atoms import Atom
@@ -24,7 +25,7 @@ from ..datalog.program import Program
 from ..datalog.rules import Rule
 from ..trees.expansion import ExpansionTree
 from ..trees.proof import root_atoms, term_space
-from .instances import InstanceEnumerator, Label
+from .instances import InstanceEnumerator, Label, shared_enumerator
 
 
 def proof_tree_to_labeled_tree(tree: ExpansionTree, program: Program) -> LabeledTree:
@@ -63,8 +64,9 @@ class PTreeAutomaton:
         program.require_goal(goal)
         self.program = program
         self.goal = goal
-        self.enumerator = InstanceEnumerator(program)
+        self.enumerator = shared_enumerator(program)
         self._reachable_goals: Tuple[Atom, ...] = ()
+        self._transitions: Optional[Tuple[Tuple[Atom, Label, Tuple[Atom, ...]], ...]] = None
 
     def initial_atoms(self) -> Iterator[Atom]:
         """The start states: all goal atoms over the term space."""
@@ -94,11 +96,20 @@ class PTreeAutomaton:
         self._reachable_goals = tuple(sorted(seen, key=str))
         return self._reachable_goals
 
+    def transitions_list(self) -> Tuple[Tuple[Atom, Label, Tuple[Atom, ...]], ...]:
+        """Every transition of the live automaton, materialized once
+        and cached (the containment fixpoints sweep this repeatedly)."""
+        if self._transitions is None:
+            self._transitions = tuple(
+                (atom, label, label.idb_atoms)
+                for atom in self.reachable_goal_atoms()
+                for label in self.enumerator.labels_for(atom)
+            )
+        return self._transitions
+
     def transitions(self) -> Iterator[Tuple[Atom, Label, Tuple[Atom, ...]]]:
         """Every transition of the live automaton."""
-        for atom in self.reachable_goal_atoms():
-            for label in self.enumerator.labels_for(atom):
-                yield atom, label, label.idb_atoms
+        yield from self.transitions_list()
 
     def size_estimate(self) -> Dict[str, int]:
         """(states, alphabet symbols, transitions) of the live automaton."""
@@ -145,3 +156,15 @@ class PTreeAutomaton:
             return False
 
         return check(tree)
+
+
+@lru_cache(maxsize=64)
+def shared_ptree_automaton(program: Program, goal: str) -> PTreeAutomaton:
+    """A process-wide proof-tree automaton per (program, goal).
+
+    The automaton is immutable apart from monotone caches (reachable
+    goal atoms, materialized transitions), so the containment and
+    boundedness entry points share instances across calls instead of
+    re-deriving the live state space per invocation.
+    """
+    return PTreeAutomaton(program, goal)

@@ -21,6 +21,15 @@ Antichain pruning keeps only minimal U per goal atom: the profile
 successor map is monotone in U and the failure condition is downward
 closed, so pruning preserves completeness (ablation: ``use_antichain``).
 
+The fixpoint runs on the bitset kernel by default: live B-states are
+interned to dense ids after the forward closure, every U is an int
+bitmask, the per-``(goal atom, label)`` successor structure is
+compiled to id tuples once, and profile images are memoized per child
+profile combination.  The frozenset implementation is kept as the
+reference path behind :class:`~repro.automata.kernel.KernelConfig`;
+both paths sweep the same transitions in the same order and return
+identical verdicts.
+
 This procedure realizes the doubly exponential upper bound of
 Theorem 5.12; the matching lower bound (Section 5.3) shows the blowup
 is unavoidable in general.
@@ -31,13 +40,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..automata.kernel import Interner, KernelConfig, resolve_kernel, thaw_witness
 from ..cq.query import ConjunctiveQuery, UnionOfConjunctiveQueries
 from ..datalog.atoms import Atom
 from ..datalog.program import Program
 from ..trees.expansion import ExpansionTree
-from .cq_automaton import CQAutomaton, CQState
+from .cq_automaton import CQAutomaton, CQState, shared_cq_automaton
 from .instances import Label
-from .ptree_automaton import PTreeAutomaton
+from .ptree_automaton import PTreeAutomaton, shared_ptree_automaton
 
 BState = Tuple[int, CQState]  # (disjunct index, CQ-automaton state)
 
@@ -66,7 +76,7 @@ class _UnionAutomaton:
 
     def __init__(self, program: Program, goal: str,
                  union: UnionOfConjunctiveQueries):
-        self.automata = [CQAutomaton(program, goal, theta) for theta in union]
+        self.automata = [shared_cq_automaton(program, goal, theta) for theta in union]
         self._successors: Dict[Tuple[BState, Label], Tuple[Tuple[BState, ...], ...]] = {}
         self._by_atom: Dict[Atom, List[BState]] = {}
         self._known: Set[BState] = set()
@@ -95,7 +105,7 @@ class _UnionAutomaton:
         index, cq_state = state
         tuples = tuple(
             tuple((index, child) for child in children)
-            for children in self.automata[index].successors(cq_state, label)
+            for children in self.automata[index].successors_cached(cq_state, label)
         )
         self._successors[key] = tuples
         for children in tuples:
@@ -129,7 +139,8 @@ class _UnionAutomaton:
 
 
 class _ProfileChains:
-    """Per-goal-atom antichains of (U, witness) profiles."""
+    """Per-goal-atom antichains of (U, witness) profiles (reference
+    path; U is a frozenset of B-states)."""
 
     def __init__(self, use_antichain: bool):
         self._chains: Dict[Atom, List[Tuple[FrozenSet[BState], ExpansionTree, int]]] = {}
@@ -157,25 +168,161 @@ class _ProfileChains:
 
 def datalog_contained_in_ucq(program: Program, goal: str,
                              union: UnionOfConjunctiveQueries,
-                             use_antichain: bool = True) -> ContainmentResult:
+                             use_antichain: bool = True,
+                             kernel: Optional[KernelConfig] = None) -> ContainmentResult:
     """Decide ``Q_Pi(D) subseteq union(D)`` for all D (Theorem 5.12).
 
     Complete and sound for arbitrary (recursive) programs; runs in time
-    doubly exponential in the input in the worst case.
+    doubly exponential in the input in the worst case.  ``kernel``
+    selects the bitset kernel (default) or the frozenset reference.
     """
-    ptrees = PTreeAutomaton(program, goal)
+    config = resolve_kernel(kernel)
+    ptrees = shared_ptree_automaton(program, goal)
     bunion = _UnionAutomaton(program, goal, union)
     bunion.close(ptrees)
+    if config.bitset:
+        return _profile_search_bitset(ptrees, bunion, goal, use_antichain,
+                                      config.memoize)
+    return _profile_search_reference(ptrees, bunion, goal, use_antichain)
 
-    chains = _ProfileChains(use_antichain)
-    goal_transitions = list(ptrees.transitions())
-    stats = {
+
+def _base_stats(ptrees: PTreeAutomaton, bunion: _UnionAutomaton,
+                goal_transitions: Sequence) -> Dict[str, int]:
+    return {
         "live_b_states": bunion.live_count(),
         "ptree_states": len(ptrees.reachable_goal_atoms()),
         "ptree_transitions": len(goal_transitions),
         "rounds": 0,
         "profiles": 0,
     }
+
+
+def _thaw_expansion(node: Tuple) -> ExpansionTree:
+    """Build the ExpansionTree of a lazy ``(label, children)`` witness."""
+    return thaw_witness(
+        node, lambda label, children: ExpansionTree(label.atom, label.rule, children)
+    )
+
+
+def _profile_search_bitset(ptrees: PTreeAutomaton, bunion: _UnionAutomaton,
+                           goal: str, use_antichain: bool,
+                           memoize: bool) -> ContainmentResult:
+    goal_transitions = ptrees.transitions_list()
+    stats = _base_stats(ptrees, bunion, goal_transitions)
+
+    interner = Interner()
+
+    # Per-(goal atom, label) successor structure compiled to dense ids:
+    # [(B-state bit, (child-id tuple, ...))], plus the profile-image
+    # memo keyed by the child profile masks.
+    succ_index: Dict[Tuple[Atom, Label], Tuple[List[Tuple[int, Tuple[Tuple[int, ...], ...]]], Dict]] = {}
+
+    def edges_for(atom: Atom, label: Label):
+        key = (atom, label)
+        cached = succ_index.get(key)
+        if cached is None:
+            edges: List[Tuple[int, Tuple[Tuple[int, ...], ...]]] = []
+            for q in bunion.states_for_atom(atom):
+                tuples = bunion.successors(q, label)
+                edges.append((
+                    1 << interner.intern(q),
+                    tuple(
+                        tuple(interner.intern(child) for child in children)
+                        for children in tuples
+                    ),
+                ))
+            cached = (edges, {})
+            succ_index[key] = cached
+        return cached
+
+    def accepting_mask(atom: Atom, label: Label,
+                       child_masks: Tuple[int, ...]) -> int:
+        edges, memo = edges_for(atom, label)
+        if memoize:
+            cached = memo.get(child_masks)
+            if cached is not None:
+                return cached
+        mask = 0
+        for bit, id_tuples in edges:
+            if mask & bit:
+                continue
+            for childs in id_tuples:
+                for cid, u in zip(childs, child_masks):
+                    if not (u >> cid) & 1:
+                        break
+                else:
+                    mask |= bit
+                    break
+        if memoize:
+            memo[child_masks] = mask
+        return mask
+
+    initial_masks: Dict[Atom, int] = {}
+
+    def is_counterexample(atom: Atom, mask: int) -> bool:
+        if atom.predicate != goal:
+            return False
+        initial = initial_masks.get(atom)
+        if initial is None:
+            initial = 0
+            for q in bunion.initial_states(atom):
+                initial |= 1 << interner.intern(q)
+            initial_masks[atom] = initial
+        return not (mask & initial)
+
+    # Per-goal-atom chains of (U mask, lazy witness, generation).
+    chains: Dict[Atom, List[Tuple[int, Tuple, int]]] = {}
+
+    def insert(atom: Atom, mask: int, witness: Tuple, generation: int) -> bool:
+        chain = chains.get(atom)
+        if chain is None:
+            chains[atom] = [(mask, witness, generation)]
+            return True
+        if use_antichain:
+            for known, _, _ in chain:
+                if known & mask == known:
+                    return False
+            chain[:] = [entry for entry in chain if mask & entry[0] != mask]
+        else:
+            for known, _, _ in chain:
+                if known == mask:
+                    return False
+        chain.append((mask, witness, generation))
+        return True
+
+    generation = 0
+    while True:
+        generation += 1
+        stats["rounds"] = generation
+        changed = False
+        for atom, label, children in goal_transitions:
+            if children:
+                options = [chains.get(child, ()) for child in children]
+                if any(not opts for opts in options):
+                    continue
+                combos = _fresh_combos(options, generation)
+            else:
+                combos = [()] if generation == 1 else []
+            for combo in combos:
+                child_masks = tuple(entry[0] for entry in combo)
+                witness = (label, tuple(entry[1] for entry in combo))
+                mask = accepting_mask(atom, label, child_masks)
+                if is_counterexample(atom, mask):
+                    stats["profiles"] = sum(len(c) for c in chains.values())
+                    return ContainmentResult(False, _thaw_expansion(witness), stats)
+                if insert(atom, mask, witness, generation):
+                    changed = True
+        if not changed:
+            break
+    stats["profiles"] = sum(len(c) for c in chains.values())
+    return ContainmentResult(True, None, stats)
+
+
+def _profile_search_reference(ptrees: PTreeAutomaton, bunion: _UnionAutomaton,
+                              goal: str, use_antichain: bool) -> ContainmentResult:
+    chains = _ProfileChains(use_antichain)
+    goal_transitions = ptrees.transitions_list()
+    stats = _base_stats(ptrees, bunion, goal_transitions)
 
     def accepting_b_states(atom: Atom, label: Label,
                            child_subsets: Tuple[FrozenSet[BState], ...]) -> FrozenSet[BState]:
@@ -254,7 +401,9 @@ def _fresh_combos(options: List[List[Tuple]], generation: int) -> Iterator[Tuple
 
 def datalog_contained_in_cq(program: Program, goal: str,
                             theta: ConjunctiveQuery,
-                            use_antichain: bool = True) -> ContainmentResult:
+                            use_antichain: bool = True,
+                            kernel: Optional[KernelConfig] = None) -> ContainmentResult:
     """Containment in a single conjunctive query (Corollary 5.7)."""
     union = UnionOfConjunctiveQueries([theta], theta.arity)
-    return datalog_contained_in_ucq(program, goal, union, use_antichain=use_antichain)
+    return datalog_contained_in_ucq(program, goal, union,
+                                    use_antichain=use_antichain, kernel=kernel)

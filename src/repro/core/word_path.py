@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from ..automata.kernel import Interner, KernelConfig, resolve_kernel
 from ..cq.query import UnionOfConjunctiveQueries
 from ..datalog.analysis import is_linear, recursive_body_atoms, recursive_predicates
 from ..datalog.atoms import Atom
@@ -35,9 +36,9 @@ from ..datalog.terms import FreshVariableFactory
 from ..datalog.unfold import unfold_nonrecursive
 from ..datalog.unify import apply_to_atom, apply_to_atoms, unify_tuples
 from ..trees.expansion import ExpansionTree
-from .cq_automaton import CQAutomaton, CQState
+from .cq_automaton import CQAutomaton, CQState, shared_cq_automaton
 from .instances import Label
-from .ptree_automaton import PTreeAutomaton
+from .ptree_automaton import PTreeAutomaton, shared_ptree_automaton
 from .tree_containment import BState, ContainmentResult
 
 
@@ -104,19 +105,126 @@ def _slice_without_goal(program: Program, predicate: str) -> Program:
 
 def datalog_contained_in_ucq_linear(program: Program, goal: str,
                                     union: UnionOfConjunctiveQueries,
-                                    use_antichain: bool = True) -> ContainmentResult:
+                                    use_antichain: bool = True,
+                                    kernel: Optional[KernelConfig] = None) -> ContainmentResult:
     """Containment for chain-form programs via word automata.
 
     Raises :class:`NotLinearError` when some rule has more than one IDB
     body atom (use :func:`to_chain_form` first, or the tree pathway).
+    ``kernel`` selects the bitset kernel (default) or the frozenset
+    reference path.
     """
     if not is_chain_program(program):
         raise NotLinearError(
             "word pathway requires chain form (at most one IDB atom per body); "
             "call to_chain_form() or use the tree pathway"
         )
-    ptrees = PTreeAutomaton(program, goal)
-    automata = [CQAutomaton(program, goal, theta) for theta in union]
+    config = resolve_kernel(kernel)
+    ptrees = shared_ptree_automaton(program, goal)
+    automata = [shared_cq_automaton(program, goal, theta) for theta in union]
+    if config.bitset:
+        return _linear_search_bitset(ptrees, automata, use_antichain,
+                                     config.memoize)
+    return _linear_search_reference(ptrees, automata, use_antichain)
+
+
+def _linear_search_bitset(ptrees: PTreeAutomaton,
+                          automata: List[CQAutomaton],
+                          use_antichain: bool,
+                          memoize: bool) -> ContainmentResult:
+    """The forward antichain on the bitset kernel: B-states are
+    interned to dense ids as discovered, V subsets are int masks, and
+    per-(B-state, label) successor masks / leaf verdicts are memoized
+    (the search revisits the same states under many different V's)."""
+    interner = Interner()
+
+    def initial_v(root: Atom) -> int:
+        mask = 0
+        for index, automaton in enumerate(automata):
+            state = automaton.initial_state(root)
+            if state is not None:
+                mask |= 1 << interner.intern((index, state))
+        return mask
+
+    succ_masks: Dict[Tuple[int, Label], int] = {}
+    leaf_accepts: Dict[Tuple[int, Label], bool] = {}
+
+    chains: Dict[Atom, List[int]] = {}
+    stats = {"pairs": 0, "ptree_states": 0}
+
+    def insert(atom: Atom, mask: int) -> bool:
+        chain = chains.get(atom)
+        if chain is None:
+            chains[atom] = [mask]
+            return True
+        if use_antichain:
+            for known in chain:
+                if known & mask == known:
+                    return False
+            chain[:] = [known for known in chain if mask & known != mask]
+        elif mask in chain:
+            return False
+        chain.append(mask)
+        return True
+
+    frontier: List[Tuple[Atom, int, Tuple[Label, ...]]] = []
+    for root in ptrees.initial_atoms():
+        mask = initial_v(root)
+        if insert(root, mask):
+            frontier.append((root, mask, ()))
+
+    while frontier:
+        atom, mask, path = frontier.pop()
+        stats["pairs"] += 1
+        for label in ptrees.enumerator.labels_for(atom):
+            if label.is_leaf():
+                accepted = False
+                remaining = mask
+                while remaining:
+                    low = remaining & -remaining
+                    remaining ^= low
+                    bid = low.bit_length() - 1
+                    key = (bid, label)
+                    verdict = leaf_accepts.get(key) if memoize else None
+                    if verdict is None:
+                        index, state = interner.object_of(bid)
+                        verdict = automata[index].accepts_leaf(state, label)
+                        if memoize:
+                            leaf_accepts[key] = verdict
+                    if verdict:
+                        accepted = True
+                        break
+                if not accepted:
+                    witness = _path_to_tree(path + (label,))
+                    return ContainmentResult(False, witness, stats)
+                continue
+            if len(label.idb_atoms) != 1:
+                raise NotLinearError(f"non-chain label {label} encountered")
+            child = label.idb_atoms[0]
+            next_mask = 0
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                bid = low.bit_length() - 1
+                key = (bid, label)
+                succ = succ_masks.get(key) if memoize else None
+                if succ is None:
+                    index, state = interner.object_of(bid)
+                    succ = 0
+                    for children in automata[index].successors_cached(state, label):
+                        succ |= 1 << interner.intern((index, children[0]))
+                    if memoize:
+                        succ_masks[key] = succ
+                next_mask |= succ
+            if insert(child, next_mask):
+                frontier.append((child, next_mask, path + (label,)))
+    return ContainmentResult(True, None, stats)
+
+
+def _linear_search_reference(ptrees: PTreeAutomaton,
+                             automata: List[CQAutomaton],
+                             use_antichain: bool) -> ContainmentResult:
 
     def initial_v(root: Atom) -> FrozenSet[BState]:
         states: Set[BState] = set()

@@ -1,0 +1,408 @@
+"""Differential coverage for the bitset automaton kernel.
+
+Every decision procedure ships two backends -- the bitset kernel
+(interned states, bitmask subsets, memoized transitions) and the
+original frozenset reference path.  These tests pin down that the two
+agree: identical verdicts (and search statistics, where deterministic)
+across the program library, randomized automata, and both containment
+pathways, with every returned counterexample independently validated.
+"""
+
+import random
+
+import pytest
+
+from repro.automata.kernel import (
+    BitAntichain,
+    Interner,
+    KernelConfig,
+    default_kernel,
+    iter_bits,
+    resolve_kernel,
+    set_default_kernel,
+)
+from repro.automata.tree import (
+    LabeledTree,
+    TreeAutomaton,
+    find_counterexample_tree,
+    path_tree,
+)
+from repro.automata.tree import contained_in as tree_contained_in
+from repro.automata.word import NFA, enumerate_words, find_counterexample_word
+from repro.automata.word import contained_in as nfa_contained_in
+from repro.core.boundedness import decide_boundedness
+from repro.core.containment import contained_in_ucq, counterexample_database
+from repro.core.ptree_automaton import PTreeAutomaton
+from repro.core.tree_containment import datalog_contained_in_ucq
+from repro.core.word_path import datalog_contained_in_ucq_linear
+from repro.cq.canonical import evaluate_ucq
+from repro.cq.query import ConjunctiveQuery, UnionOfConjunctiveQueries
+from repro.datalog.engine import evaluate
+from repro.datalog.errors import ValidationError
+from repro.datalog.parser import parse_atom, parse_program
+from repro.datalog.unfold import expansion_union, unfold_nonrecursive
+from repro.programs import (
+    buys_bounded,
+    buys_bounded_rewriting,
+    chain_program,
+    nonlinear_reach,
+    transitive_closure,
+    widget_certified,
+)
+
+BITSET = KernelConfig(backend="bitset")
+BITSET_NOMEMO = KernelConfig(backend="bitset", memoize=False)
+REFERENCE = KernelConfig(backend="frozenset")
+
+
+def cq(head: str, *body: str) -> ConjunctiveQuery:
+    return ConjunctiveQuery(parse_atom(head), tuple(parse_atom(b) for b in body))
+
+
+# ----------------------------------------------------------------------
+# Kernel primitives.
+# ----------------------------------------------------------------------
+
+class TestKernelPrimitives:
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(ValidationError):
+            KernelConfig(backend="simd")
+
+    def test_config_is_frozen(self):
+        import dataclasses
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            KernelConfig().backend = "frozenset"
+
+    def test_default_kernel_roundtrip(self):
+        previous = set_default_kernel(REFERENCE)
+        try:
+            assert default_kernel() is REFERENCE
+            assert resolve_kernel(None) is REFERENCE
+            assert resolve_kernel(BITSET) is BITSET
+        finally:
+            set_default_kernel(previous)
+        assert default_kernel() is previous
+
+    def test_interner_ids_are_dense_and_stable(self):
+        interner = Interner(["a", "b"])
+        assert interner.id_of("a") == 0
+        assert interner.intern("c") == 2
+        assert interner.intern("a") == 0
+        assert len(interner) == 3
+        assert "b" in interner and "z" not in interner
+
+    def test_mask_roundtrip(self):
+        interner = Interner()
+        mask = interner.mask_of(["x", "y", "z"])
+        assert interner.subset_of(mask) == {"x", "y", "z"}
+        assert list(iter_bits(0b1011)) == [0, 1, 3]
+
+    def test_bit_antichain_keeps_minimal_masks(self):
+        chain = BitAntichain()
+        assert chain.insert("k", 0b0111, "w1")
+        # Superset of a kept mask: dominated, rejected.
+        assert not chain.insert("k", 0b1111, "w2")
+        assert chain.dominated("k", 0b0111)
+        # Subset: inserted, evicts the dominated entry.
+        assert chain.insert("k", 0b0011, "w3")
+        assert chain.items("k") == [(0b0011, "w3")]
+        # Incomparable mask coexists.
+        assert chain.insert("k", 0b1100, "w4")
+        assert chain.total() == 2
+        assert chain.keys() == ["k"]
+
+
+# ----------------------------------------------------------------------
+# Generic tree automata: bitset vs reference.
+# ----------------------------------------------------------------------
+
+def random_nta(rng: random.Random) -> TreeAutomaton:
+    states = [f"s{i}" for i in range(3)]
+    transitions = []
+    for state in states:
+        if rng.random() < 0.8:
+            transitions.append((state, "a", ()))
+        for _ in range(rng.randint(0, 3)):
+            transitions.append(
+                (state, "f", (rng.choice(states), rng.choice(states)))
+            )
+        if rng.random() < 0.5:
+            transitions.append((state, "g", (rng.choice(states),)))
+    return TreeAutomaton.build(
+        ["f", "g", "a"], states, [rng.choice(states)], transitions
+    )
+
+
+class TestTreeAutomatonDifferential:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_containment_agrees(self, seed):
+        rng = random.Random(seed)
+        left, right = random_nta(rng), random_nta(rng)
+        reference = find_counterexample_tree(left, right, kernel=REFERENCE)
+        for config in (BITSET, BITSET_NOMEMO):
+            witness = find_counterexample_tree(left, right, kernel=config)
+            assert (witness is None) == (reference is None)
+            if witness is not None:
+                assert left.accepts(witness)
+                assert not right.accepts(witness)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_exact_mode_agrees_with_antichain(self, seed):
+        rng = random.Random(seed)
+        left, right = random_nta(rng), random_nta(rng)
+        pruned = tree_contained_in(left, right, use_antichain=True, kernel=BITSET)
+        exact = tree_contained_in(left, right, use_antichain=False, kernel=BITSET)
+        assert pruned == exact
+
+    def test_productive_states_cached_and_correct(self):
+        rng = random.Random(11)
+        automaton = random_nta(rng)
+        first = automaton.productive_states()
+        assert automaton.productive_states() is first  # cached on the instance
+        # The cache does not change the emptiness verdict.
+        assert automaton.is_empty() == (not (first & automaton.initial))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_productive_states_reference_backend_agrees(self, seed):
+        # Two identical automata (same seed), one evaluated under each
+        # default backend: the cached productive sets must agree.
+        left = random_nta(random.Random(seed))
+        right = random_nta(random.Random(seed))
+        assert left.transitions == right.transitions
+        previous = set_default_kernel(REFERENCE)
+        try:
+            reference = left.productive_states()
+        finally:
+            set_default_kernel(previous)
+        assert reference == right.productive_states()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reachable_subsets_agree_across_kernels(self, seed):
+        from repro.automata.tree import BottomUpDeterministic
+
+        rng = random.Random(seed)
+        det = BottomUpDeterministic(random_nta(rng))
+        assert det.reachable_subsets(max_subsets=512, kernel=BITSET) == \
+            det.reachable_subsets(max_subsets=512, kernel=REFERENCE)
+
+    def test_reachable_subsets_matches_seed_semantics(self):
+        # left_comb from the tree-automata tests: the subset automaton
+        # has a known, small reachable state space.
+        automaton = TreeAutomaton.build(
+            ["f", "a"], ["s", "leaf"], ["s"],
+            [("s", "f", ("s", "leaf")), ("s", "a", ()), ("leaf", "a", ())],
+        )
+        from repro.automata.tree import complement
+
+        det = complement(automaton)
+        subsets = det.reachable_subsets(max_subsets=64)
+        assert frozenset(["s", "leaf"]) in subsets
+        assert all(isinstance(subset, frozenset) for subset in subsets)
+
+
+class TestDeepTrees:
+    def test_labeled_tree_methods_are_iterative(self):
+        deep = path_tree(["g"] * 4999 + ["a"])
+        assert deep.size() == 5000
+        assert deep.depth() == 5000
+        assert sum(1 for _ in deep.nodes()) == 5000
+
+    def test_nodes_stays_preorder(self):
+        tree = LabeledTree("f", (LabeledTree("a"), LabeledTree("g", (LabeledTree("b"),))))
+        assert [node.label for node in tree.nodes()] == ["f", "a", "g", "b"]
+
+    def test_acceptance_on_deep_tree(self):
+        automaton = TreeAutomaton.build(
+            ["g", "a"], ["s"], ["s"],
+            [("s", "g", ("s",)), ("s", "a", ())],
+        )
+        deep = path_tree(["g"] * 4999 + ["a"])
+        assert automaton.accepts(deep)
+
+    def test_acceptance_on_shared_subtree_dag(self):
+        # The counterexample searches return witnesses whose subtrees
+        # are shared; acceptance must evaluate each node once, not once
+        # per root-to-node path (2^200 here).
+        automaton = TreeAutomaton.build(
+            ["f", "a"], ["s"], ["s"],
+            [("s", "f", ("s", "s")), ("s", "a", ())],
+        )
+        node = LabeledTree("a")
+        for _ in range(200):
+            node = LabeledTree("f", (node, node))
+        assert automaton.accepts(node)
+
+
+# ----------------------------------------------------------------------
+# Word automata: bitset vs reference.
+# ----------------------------------------------------------------------
+
+def random_nfa(rng: random.Random, states: int = 3) -> NFA:
+    names = [f"s{i}" for i in range(states)]
+    transitions = []
+    for source in names:
+        for symbol in "ab":
+            for target in names:
+                if rng.random() < 0.35:
+                    transitions.append((source, symbol, target))
+    return NFA.build(
+        "ab",
+        names,
+        [rng.choice(names)],
+        [n for n in names if rng.random() < 0.5] or [names[-1]],
+        transitions,
+    )
+
+
+class TestWordAutomatonDifferential:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_containment_agrees(self, seed):
+        rng = random.Random(seed)
+        left, right = random_nfa(rng), random_nfa(rng)
+        reference = find_counterexample_word(left, right, kernel=REFERENCE)
+        for config in (BITSET, BITSET_NOMEMO):
+            witness = find_counterexample_word(left, right, kernel=config)
+            assert (witness is None) == (reference is None)
+            if witness is not None:
+                assert left.accepts(witness)
+                assert not right.accepts(witness)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_determinize_identical_across_kernels(self, seed):
+        rng = random.Random(seed)
+        nfa = random_nfa(rng)
+        bitset = nfa.determinize(kernel=BITSET)
+        reference = nfa.determinize(kernel=REFERENCE)
+        assert bitset.states == reference.states
+        assert bitset.initial == reference.initial
+        assert bitset.accepting == reference.accepting
+        assert bitset.transitions == reference.transitions
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_complement_language_unchanged(self, seed):
+        rng = random.Random(seed)
+        nfa = random_nfa(rng)
+        complemented = nfa.complement()
+        accepted = set(enumerate_words(nfa, 4))
+        rejected = set(enumerate_words(complemented, 4))
+        assert accepted.isdisjoint(rejected)
+        for length in range(5):
+            total = sum(1 for word in accepted if len(word) == length)
+            total += sum(1 for word in rejected if len(word) == length)
+            assert total == 2 ** length
+
+
+# ----------------------------------------------------------------------
+# The decision stack: program containment / boundedness.
+# ----------------------------------------------------------------------
+
+def covering_union() -> UnionOfConjunctiveQueries:
+    return UnionOfConjunctiveQueries(
+        [
+            cq("p(X0, X1)", "e0(X0, X1)"),
+            cq("p(X0, X1)", "g0(X0, Z)"),
+        ]
+    )
+
+
+TREE_CASES = [
+    ("tc_depth1", transitive_closure, "p",
+     lambda program: expansion_union(program, "p", 1)),
+    ("tc_depth2", transitive_closure, "p",
+     lambda program: expansion_union(program, "p", 2)),
+    ("chain1_covered", lambda: chain_program(1), "p",
+     lambda program: covering_union()),
+    ("buys_depth2", buys_bounded, "buys",
+     lambda program: expansion_union(program, "buys", 2)),
+    ("widget_depth2", widget_certified, "ok",
+     lambda program: expansion_union(program, "ok", 2)),
+    ("nonlinear_depth2", lambda: nonlinear_reach(1), "p",
+     lambda program: expansion_union(program, "p", 2)),
+]
+
+
+class TestContainmentDifferential:
+    @pytest.mark.parametrize(
+        "name,make_program,goal,make_union",
+        TREE_CASES, ids=[case[0] for case in TREE_CASES],
+    )
+    def test_tree_pathway_agrees(self, name, make_program, goal, make_union):
+        program = make_program()
+        union = make_union(program)
+        bitset = datalog_contained_in_ucq(program, goal, union, kernel=BITSET)
+        reference = datalog_contained_in_ucq(program, goal, union, kernel=REFERENCE)
+        assert bitset.contained == reference.contained
+        # Both backends sweep the same transitions in the same order,
+        # so the search statistics must agree exactly.
+        assert bitset.stats == reference.stats
+        for result in (bitset, reference):
+            if not result.contained:
+                self._check_refutation(result, program, goal, union)
+
+    @staticmethod
+    def _check_refutation(result, program, goal, union):
+        assert PTreeAutomaton(program, goal).accepts_proof_tree(result.witness)
+        database, row = counterexample_database(result, program)
+        assert row in evaluate(program, database).facts(goal)
+        assert row not in evaluate_ucq(union, database)
+
+    @pytest.mark.parametrize("depth", [1, 2])
+    def test_word_pathway_agrees(self, depth):
+        program = transitive_closure()
+        union = expansion_union(program, "p", depth)
+        bitset = datalog_contained_in_ucq_linear(program, "p", union, kernel=BITSET)
+        reference = datalog_contained_in_ucq_linear(program, "p", union, kernel=REFERENCE)
+        assert bitset.contained == reference.contained == False
+        for result in (bitset, reference):
+            self._check_refutation(result, program, "p", union)
+
+    def test_word_pathway_positive_case_agrees(self):
+        program = buys_bounded()
+        union = expansion_union(program, "buys", 2)
+        bitset = contained_in_ucq(program, "buys", union, method="word", kernel=BITSET)
+        reference = contained_in_ucq(program, "buys", union, method="word",
+                                     kernel=REFERENCE)
+        assert bitset.contained and reference.contained
+
+    def test_antichain_ablation_agrees_across_kernels(self):
+        program = transitive_closure()
+        union = expansion_union(program, "p", 2)
+        for use_antichain in (True, False):
+            bitset = datalog_contained_in_ucq(
+                program, "p", union, use_antichain=use_antichain, kernel=BITSET
+            )
+            reference = datalog_contained_in_ucq(
+                program, "p", union, use_antichain=use_antichain, kernel=REFERENCE
+            )
+            assert bitset.contained == reference.contained == False
+
+    def test_nonrecursive_equivalence_agrees(self):
+        from repro.core.equivalence import is_equivalent_to_nonrecursive
+
+        program = buys_bounded()
+        rewriting = buys_bounded_rewriting()
+        bitset = is_equivalent_to_nonrecursive(program, rewriting, "buys",
+                                               kernel=BITSET)
+        reference = is_equivalent_to_nonrecursive(program, rewriting, "buys",
+                                                  kernel=REFERENCE)
+        assert bitset.equivalent == reference.equivalent == True
+
+    def test_boundedness_agrees(self):
+        program = buys_bounded()
+        bitset = decide_boundedness(program, "buys", max_depth=3, kernel=BITSET)
+        reference = decide_boundedness(program, "buys", max_depth=3,
+                                       kernel=REFERENCE)
+        assert bitset.bounded and reference.bounded
+        assert bitset.depth == reference.depth == 2
+
+    def test_default_kernel_is_bitset_and_switchable(self):
+        assert default_kernel().bitset
+        program = transitive_closure()
+        union = expansion_union(program, "p", 1)
+        previous = set_default_kernel(REFERENCE)
+        try:
+            result = datalog_contained_in_ucq(program, "p", union)
+        finally:
+            set_default_kernel(previous)
+        assert not result.contained
