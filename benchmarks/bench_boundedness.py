@@ -1,26 +1,35 @@
 """E14 -- boundedness semi-decision via truncation equivalence.
 
-Regenerates the certificates: Example 1.1's Pi_1 is certified bounded
-at depth 2; transitive closure receives no certificate at any depth
-(it is unbounded).
+Regenerates the certificates over registry scenarios: Example 1.1's
+Pi_1 is certified bounded at depth 2; transitive closure receives no
+certificate at any depth (it is unbounded).
 """
 
 import pytest
 
 from repro.core.boundedness import bounded_at_depth, decide_boundedness
-from repro.programs import buys_bounded, transitive_closure, widget_certified
+from repro.programs import transitive_closure
+from repro.workloads import get_scenario
 
 
-def test_certify_pi1(benchmark):
-    program = buys_bounded()
-    result = benchmark(lambda: decide_boundedness(program, "buys", max_depth=3))
-    assert result.bounded and result.depth == 2
+@pytest.mark.parametrize("name", ["bounded_buys", "bounded_widget"])
+def test_certify_bounded_scenarios(benchmark, name):
+    scenario = get_scenario(name)
+    payload = scenario.build()
+    result = benchmark(lambda: decide_boundedness(
+        payload["program"], payload["goal"],
+        max_depth=payload.get("max_depth", 3)))
+    assert result.bounded == scenario.expected["bounded"]
+    assert result.depth == scenario.expected["depth"]
 
 
-def test_certify_widget(benchmark):
-    program = widget_certified()
-    result = benchmark(lambda: decide_boundedness(program, "ok", max_depth=3))
-    assert result.bounded and result.depth == 2
+def test_no_certificate_for_unbounded_tc(benchmark):
+    scenario = get_scenario("unbounded_tc")
+    payload = scenario.build()
+    result = benchmark(lambda: decide_boundedness(
+        payload["program"], payload["goal"],
+        max_depth=payload.get("max_depth", 3)))
+    assert result.bounded is None
 
 
 @pytest.mark.parametrize("depth", [1, 2, 3])

@@ -1,9 +1,12 @@
 """E6 -- Theorem 5.12: containment of recursive programs in UCQs.
 
 The paper proves a doubly exponential worst case.  This bench measures
-the implementation's actual growth on two controlled families:
+the implementation's actual growth on two controlled families, with
+configurations drawn from the scenario registry
+(:mod:`repro.workloads`) so the benchmark, the batch runner, and CI
+exercise the same inputs:
 
-* program width: ``chain_program(w)`` adds EDB guards to the recursive
+* program width: ``guarded_chain(w)`` adds EDB guards to the recursive
   rule, growing ``var(Pi)`` and hence the instance space exponentially
   in the rule width -- the automata sizes recorded in extra_info grow
   accordingly (the Proposition 5.9 alphabet);
@@ -15,40 +18,30 @@ the implementation's actual growth on two controlled families:
 import pytest
 
 from repro.core.tree_containment import datalog_contained_in_ucq
-from repro.cq.query import ConjunctiveQuery, UnionOfConjunctiveQueries
-from repro.datalog.parser import parse_atom
 from repro.datalog.unfold import expansion_union
-from repro.programs import chain_program, transitive_closure
-
-
-def covering_union(width: int) -> UnionOfConjunctiveQueries:
-    # 'some g0-edge out of X0' union 'a bare e0 edge' covers every
-    # expansion of chain_program(width).
-    return UnionOfConjunctiveQueries(
-        [
-            ConjunctiveQuery(parse_atom("p(X0, X1)"), (parse_atom("e0(X0, X1)"),)),
-            ConjunctiveQuery(parse_atom("p(X0, X1)"), (parse_atom("g0(X0, Z)"),)),
-        ]
-    )
+from repro.programs import transitive_closure
+from repro.workloads import covering_union, get_scenario, guarded_chain
 
 
 @pytest.mark.parametrize("width", [1, 2])
 def test_containment_vs_program_width(benchmark, width):
-    program = chain_program(width)
-    union = covering_union(width)
-    result = benchmark(lambda: datalog_contained_in_ucq(program, "p", union))
-    assert result.contained
+    scenario = get_scenario(f"contain_chain_w{width}")
+    payload = scenario.build()
+    result = benchmark(lambda: datalog_contained_in_ucq(
+        payload["program"], payload["goal"], payload["union"]))
+    assert result.contained == scenario.expected["contained"]
     benchmark.extra_info.update(result.stats)
 
 
 @pytest.mark.parametrize("depth", [1, 2, 3])
 def test_containment_vs_truncation_depth(benchmark, depth):
-    program = transitive_closure()
-    union = expansion_union(program, "p", depth)
-    result = benchmark(lambda: datalog_contained_in_ucq(program, "p", union))
-    assert not result.contained  # transitive closure is unbounded
+    scenario = get_scenario(f"contain_tc_trunc{depth}")
+    payload = scenario.build()
+    result = benchmark(lambda: datalog_contained_in_ucq(
+        payload["program"], payload["goal"], payload["union"]))
+    assert result.contained == scenario.expected["contained"]
     benchmark.extra_info.update(result.stats)
-    benchmark.extra_info["union_disjuncts"] = len(union)
+    benchmark.extra_info["union_disjuncts"] = len(payload["union"])
 
 
 def test_antichain_ablation_on(benchmark):
@@ -70,3 +63,15 @@ def test_antichain_ablation_off(benchmark):
     )
     assert not result.contained
     benchmark.extra_info["profiles"] = result.stats["profiles"]
+
+
+def test_width_family_agrees_with_registry(benchmark):
+    """The registry's covering union is the one this file used to
+    define ad hoc; keep them provably in sync."""
+    union = covering_union()
+    program = guarded_chain(1)
+    result = benchmark.pedantic(
+        lambda: datalog_contained_in_ucq(program, "p", union),
+        rounds=1, iterations=1,
+    )
+    assert result.contained

@@ -3,26 +3,25 @@
 Supports the paper's motivating claim (Section 1, citing [BR86]) that
 equivalence-preserving transformations enable cheaper evaluation: on a
 bound-first reachability query over data with irrelevant components,
-the magic rewriting derives an order of magnitude fewer facts.
+the magic rewriting derives an order of magnitude fewer facts.  The
+star EDB comes from the workload generators
+(:func:`repro.workloads.star_edges`), the same family behind the
+registry's ``magic_star_8x12`` scenario.
 """
 
 import pytest
 
-from repro.datalog.database import Database
-from repro.datalog.engine import evaluate, query
+from repro.datalog.engine import query
 from repro.datalog.magic import derived_fact_count, magic_query, magic_rewrite
 from repro.datalog.parser import parse_program
+from repro.workloads import edges_database, star_edges
 
 RIGHT_TC = parse_program("p(X, Y) :- e(X, Y).\np(X, Y) :- e(X, Z), p(Z, Y).")
 
 
-def star_database(rays: int, length: int) -> Database:
+def star_database(rays: int, length: int):
     """Several disjoint chains; only one is relevant to the query."""
-    db = Database()
-    for ray in range(rays):
-        for i in range(length):
-            db.add("e", (f"r{ray}_{i}", f"r{ray}_{i+1}"))
-    return db
+    return edges_database(star_edges(rays, length), ("e",))
 
 
 @pytest.mark.parametrize("rays", [4, 8])

@@ -1,12 +1,32 @@
 """Benchmark-suite configuration.
 
-Each benchmark file regenerates one experiment of EXPERIMENTS.md.  The
-benchmarks assert the *shape* of the paper's claims (who wins, growth
-rates, crossover locations) and record measured series in
-``benchmark.extra_info`` so the numbers land in the saved JSON.
+Each benchmark file regenerates one experiment of the paper's implied
+experiment set.  The benchmarks assert the *shape* of the paper's
+claims (who wins, growth rates, crossover locations) and record
+measured series in ``benchmark.extra_info`` so the numbers land in the
+saved JSON.
+
+Cache lifecycle: every benchmark test starts from a **cold** process
+-- the autouse fixture below routes through the same registered
+cache-lifecycle hook the batch runner uses
+(:func:`repro.core.clear_shared_caches`, which also drops the default
+engine's compiled plans).  Without it, earlier tests warm the
+process-wide shared caches for later ones and the numbers depend on
+file ordering.
 """
 
 import pytest
+
+from repro.core.instances import clear_shared_caches
+
+
+@pytest.fixture(autouse=True)
+def cold_start_caches():
+    """Start every benchmark from a cold cache state (fair cold-start
+    numbers; pytest-benchmark's warmup rounds then measure the warm
+    steady state explicitly)."""
+    clear_shared_caches()
+    yield
 
 
 def series_info(benchmark, **series):

@@ -1,17 +1,23 @@
 #!/usr/bin/env python
 """Standalone benchmark runner with a machine-readable trajectory.
 
-Runs the performance-critical workloads of the repository -- compiled
-join plans, containment scaling, boundedness, and the generic automata
-substrate -- and appends a run record (median-of-N timings plus
-derived speedups) to ``BENCH_automata.json`` / ``BENCH_plans.json`` so
-performance can be tracked across commits.
+Times the performance-critical workloads of the repository -- the
+decision stack over registry scenarios, the generic automata
+substrate, and compiled join plans -- and appends a run record
+(median-of-N timings plus derived speedups) to
+``BENCH_automata.json`` / ``BENCH_plans.json`` so performance can be
+tracked across commits.
 
-Each decision-stack case is timed in three modes:
+The decision-stack and plans suites draw their configurations from the
+**scenario registry** (:mod:`repro.workloads.scenarios`) -- the same
+catalogue the batch runner (``python -m repro.runner``) and CI use --
+rather than ad-hoc per-file configs.  Each decision case is timed in
+three modes:
 
 * ``seed_like``  -- frozenset reference kernel with the process-wide
-  shared caches cleared before every iteration: approximates the
-  pre-kernel implementation (cold enumeration, frozenset subsets);
+  shared caches cleared before every iteration (via the registered
+  cache-lifecycle hooks, so compiled plans drop too): approximates the
+  pre-kernel implementation;
 * ``reference``  -- frozenset kernel, warm shared caches (isolates the
   bitmask representation from the memoization);
 * ``bitset``     -- the default bitset kernel, warm shared caches (the
@@ -30,10 +36,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import statistics
-import subprocess
 import sys
 import time
 from pathlib import Path
@@ -44,23 +47,39 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.automata.kernel import KernelConfig  # noqa: E402
 from repro.automata.tree import TreeAutomaton, find_counterexample_tree  # noqa: E402
 from repro.automata.word import NFA, find_counterexample_word  # noqa: E402
-from repro.core.boundedness import bounded_at_depth, decide_boundedness  # noqa: E402
 from repro.core.instances import clear_shared_caches  # noqa: E402
-from repro.core.tree_containment import datalog_contained_in_ucq  # noqa: E402
-from repro.cq.query import ConjunctiveQuery, UnionOfConjunctiveQueries  # noqa: E402
-from repro.datalog.database import Database  # noqa: E402
 from repro.datalog.engine import Engine, EngineConfig  # noqa: E402
-from repro.datalog.parser import parse_atom  # noqa: E402
-from repro.datalog.unfold import expansion_union  # noqa: E402
-from repro.programs import (  # noqa: E402
-    buys_bounded,
-    chain_program,
-    transitive_closure,
-    widget_certified,
+from repro.runner.trajectory import (  # noqa: E402
+    AUTOMATA_TRAJECTORY,
+    PLANS_TRAJECTORY,
+    append_trajectory,
+    run_metadata,
+)
+from repro.workloads.scenarios import (  # noqa: E402
+    get_scenario,
+    kind_runner,
+    scenario_names,
 )
 
 BITSET = KernelConfig(backend="bitset")
 REFERENCE = KernelConfig(backend="frozenset")
+
+# Registry scenarios timed by the decision-stack suite (kernel ablation).
+DECISION_CASES = [
+    "contain_chain_w1",
+    "contain_chain_w2",
+    "contain_tc_trunc1",
+    "contain_tc_trunc2",
+    "contain_tc_trunc3",
+    "bounded_buys",
+    "bounded_widget",
+    "unbounded_tc",
+]
+DECISION_CASES_SMOKE = ["contain_chain_w1", "contain_tc_trunc1", "bounded_buys"]
+
+# Evaluation scenarios timed by the plans suite (engine ablation).
+PLANS_CASES = ["eval_tc_chain_120", "eval_tc_grid_10x10", "eval_sg_tree_d5"]
+PLANS_CASES_SMOKE = ["eval_sg_tree_d5"]
 
 
 def median_seconds(fn, repeats: int) -> float:
@@ -73,7 +92,13 @@ def median_seconds(fn, repeats: int) -> float:
 
 
 def time_kernel_case(name: str, fn, repeats: int):
-    """Time one decision-stack case in the three kernel modes."""
+    """Time one decision-stack case in the three kernel modes.
+
+    ``fn(kernel)`` runs the decision once; cache lifecycle goes through
+    the registered hooks (:func:`clear_shared_caches`), so 'cold'
+    really is cold -- enumerators, automata, and compiled plans all
+    drop together.
+    """
 
     def seed_like():
         clear_shared_caches()
@@ -99,62 +124,27 @@ def time_kernel_case(name: str, fn, repeats: int):
     return entry
 
 
-def covering_union() -> UnionOfConjunctiveQueries:
-    return UnionOfConjunctiveQueries(
-        [
-            ConjunctiveQuery(parse_atom("p(X0, X1)"), (parse_atom("e0(X0, X1)"),)),
-            ConjunctiveQuery(parse_atom("p(X0, X1)"), (parse_atom("g0(X0, Z)"),)),
-        ]
-    )
+def scenario_kernel_fn(name: str):
+    """A ``fn(kernel)`` closure for one registry scenario: build the
+    payload once, run the scenario's decision procedure under the given
+    kernel, and assert the ground-truth verdict every time."""
+    scenario = get_scenario(name)
+    payload = scenario.build()
+    runner = kind_runner(scenario.kind)
+    expected = dict(scenario.expected)
+
+    def fn(kernel):
+        verdict, _ = runner(payload, None, kernel)
+        assert verdict == expected, (name, verdict, expected)
+
+    return fn
 
 
-def containment_suite(repeats: int, smoke: bool):
-    print("containment scaling:")
-    entries = []
-    widths = [1] if smoke else [1, 2]
-    for width in widths:
-        program = chain_program(width)
-        union = covering_union()
-        entries.append(time_kernel_case(
-            f"containment_width{width}",
-            lambda k, p=program, u=union: datalog_contained_in_ucq(p, "p", u, kernel=k),
-            repeats,
-        ))
-    depths = [1] if smoke else [1, 2, 3]
-    program = transitive_closure()
-    for depth in depths:
-        union = expansion_union(program, "p", depth)
-        entries.append(time_kernel_case(
-            f"containment_tc_depth{depth}",
-            lambda k, u=union: datalog_contained_in_ucq(program, "p", u, kernel=k),
-            repeats,
-        ))
-    return entries
-
-
-def boundedness_suite(repeats: int, smoke: bool):
-    print("boundedness:")
-    entries = []
-    cases = [
-        ("boundedness_buys", buys_bounded(), "buys"),
-        ("boundedness_widget", widget_certified(), "ok"),
-    ]
-    for name, program, goal in cases:
-        entries.append(time_kernel_case(
-            name,
-            lambda k, p=program, g=goal: decide_boundedness(p, g, max_depth=3, kernel=k),
-            repeats,
-        ))
-        if smoke:
-            break
-    if not smoke:
-        tc = transitive_closure()
-        entries.append(time_kernel_case(
-            "boundedness_tc_refute_depth3",
-            lambda k: bounded_at_depth(tc, "p", 3, kernel=k),
-            repeats,
-        ))
-    return entries
+def decision_suite(repeats: int, smoke: bool):
+    print("decision stack (registry scenarios):")
+    cases = DECISION_CASES_SMOKE if smoke else DECISION_CASES
+    return [time_kernel_case(name, scenario_kernel_fn(name), repeats)
+            for name in cases]
 
 
 def _random_nta(rng) -> TreeAutomaton:
@@ -230,60 +220,39 @@ def automata_suite(repeats: int, smoke: bool):
 
 
 def plans_suite(repeats: int, smoke: bool):
-    print("evaluation plans:")
+    """Compiled vs interpretive engine over registry evaluation
+    scenarios (each run's verdict is checked against the structural
+    ground truth)."""
+    print("evaluation plans (registry scenarios):")
     compiled = Engine(EngineConfig(compiled=True))
     interpretive = Engine(EngineConfig(compiled=False))
-    program = transitive_closure()
-    length = 60 if smoke else 240
-    database = Database()
-    for i in range(length):
-        database.add("e", (f"v{i}", f"v{i+1}"))
-        database.add("e0", (f"v{i}", f"v{i+1}"))
-
     entries = []
-    compiled_s = median_seconds(lambda: compiled.evaluate(program, database), repeats)
-    interpretive_s = median_seconds(
-        lambda: interpretive.evaluate(program, database), repeats
-    )
-    entry = {
-        "name": f"tc_chain_{length}",
-        "repeats": repeats,
-        "compiled_s": round(compiled_s, 6),
-        "interpretive_s": round(interpretive_s, 6),
-        "speedup": round(interpretive_s / compiled_s, 2) if compiled_s else None,
-    }
-    print(f"  {entry['name']:42s} compiled {compiled_s*1000:8.2f}ms  "
-          f"interpretive {interpretive_s*1000:8.2f}ms  speedup {entry['speedup']}x")
-    entries.append(entry)
+    cases = PLANS_CASES_SMOKE if smoke else PLANS_CASES
+    for name in cases:
+        scenario = get_scenario(name)
+        payload = scenario.build()
+        runner = kind_runner(scenario.kind)
+        expected = dict(scenario.expected)
+
+        def run(engine):
+            verdict, _ = runner(payload, engine, None)
+            assert verdict == expected, (name, verdict, expected)
+
+        compiled_s = median_seconds(lambda: run(compiled), repeats)
+        interpretive_s = median_seconds(lambda: run(interpretive), repeats)
+        entry = {
+            "name": name,
+            "repeats": repeats,
+            "compiled_s": round(compiled_s, 6),
+            "interpretive_s": round(interpretive_s, 6),
+            "speedup": (round(interpretive_s / compiled_s, 2)
+                        if compiled_s else None),
+        }
+        print(f"  {name:42s} compiled {compiled_s*1000:8.2f}ms  "
+              f"interpretive {interpretive_s*1000:8.2f}ms  "
+              f"speedup {entry['speedup']}x")
+        entries.append(entry)
     return entries
-
-
-def run_metadata():
-    try:
-        commit = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
-            capture_output=True, text=True, check=True,
-        ).stdout.strip()
-    except Exception:
-        commit = "unknown"
-    return {
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "commit": commit,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-    }
-
-
-def append_trajectory(path: Path, record) -> None:
-    trajectory = []
-    if path.exists():
-        try:
-            trajectory = json.loads(path.read_text())
-        except json.JSONDecodeError:
-            trajectory = []
-    trajectory.append(record)
-    path.write_text(json.dumps(trajectory, indent=2) + "\n")
-    print(f"wrote {path}")
 
 
 def main() -> int:
@@ -301,15 +270,15 @@ def main() -> int:
     args = parser.parse_args()
 
     repeats = 1 if args.smoke else args.repeats
-    meta = run_metadata()
+    meta = run_metadata(REPO_ROOT)
     print(f"run_bench: commit {meta['commit']}, python {meta['python']}, "
-          f"repeats {repeats}{' (smoke)' if args.smoke else ''}")
+          f"repeats {repeats}{' (smoke)' if args.smoke else ''}; "
+          f"{len(scenario_names())} scenarios registered")
 
     automata_entries = []
     plans_entries = []
     if args.suite in ("all", "automata"):
-        automata_entries += containment_suite(repeats, args.smoke)
-        automata_entries += boundedness_suite(repeats, args.smoke)
+        automata_entries += decision_suite(repeats, args.smoke)
         automata_entries += automata_suite(repeats, args.smoke)
     if args.suite in ("all", "plans"):
         plans_entries += plans_suite(repeats, args.smoke)
@@ -321,10 +290,10 @@ def main() -> int:
         out_dir = REPO_ROOT
     out_dir.mkdir(parents=True, exist_ok=True)
     if automata_entries:
-        append_trajectory(out_dir / "BENCH_automata.json",
+        append_trajectory(out_dir / AUTOMATA_TRAJECTORY,
                           {**meta, "smoke": args.smoke, "entries": automata_entries})
     if plans_entries:
-        append_trajectory(out_dir / "BENCH_plans.json",
+        append_trajectory(out_dir / PLANS_TRAJECTORY,
                           {**meta, "smoke": args.smoke, "entries": plans_entries})
     return 0
 

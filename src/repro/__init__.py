@@ -8,19 +8,19 @@ recursive programs to nonrecursive programs (Theorem 6.5), using the
 paper's proof-tree / tree-automaton machinery, and ships the paper's
 lower-bound constructions as executable generators.
 
-Quickstart::
+Quickstart (a live doctest -- ``tests/test_docs.py`` executes it):
 
-    from repro import parse_program, is_equivalent_to_nonrecursive
-
-    recursive = parse_program('''
-        buys(X, Y) :- likes(X, Y).
-        buys(X, Y) :- trendy(X), buys(Z, Y).
-    ''')
-    nonrecursive = parse_program('''
-        buys(X, Y) :- likes(X, Y).
-        buys(X, Y) :- trendy(X), likes(Z, Y).
-    ''')
-    assert is_equivalent_to_nonrecursive(recursive, nonrecursive, goal="buys")
+    >>> from repro import parse_program, is_equivalent_to_nonrecursive
+    >>> recursive = parse_program('''
+    ...     buys(X, Y) :- likes(X, Y).
+    ...     buys(X, Y) :- trendy(X), buys(Z, Y).
+    ... ''')
+    >>> nonrecursive = parse_program('''
+    ...     buys(X, Y) :- likes(X, Y).
+    ...     buys(X, Y) :- trendy(X), likes(Z, Y).
+    ... ''')
+    >>> bool(is_equivalent_to_nonrecursive(recursive, nonrecursive, goal="buys"))
+    True
 """
 
 from .automata import KernelConfig, default_kernel, set_default_kernel
@@ -61,6 +61,15 @@ from .core import (
     nonrecursive_contained_in_datalog,
     ucq_contained_in_datalog,
 )
+
+# Wire the default engine's plan cache into the kernel's shared-cache
+# registry here: engine.py cannot import the registry at module level
+# (kernel <-> datalog import cycle), and the package root always runs
+# before any submodule.
+from .automata.kernel import register_shared_cache as _register_shared_cache
+from .datalog.engine import clear_default_plan_cache as _clear_default_plan_cache
+
+_register_shared_cache(_clear_default_plan_cache, "datalog.default_plan_cache")
 
 __version__ = "1.0.0"
 

@@ -10,7 +10,10 @@ from .kernel import (
     BitAntichain,
     Interner,
     KernelConfig,
+    clear_registered_caches,
     default_kernel,
+    register_shared_cache,
+    registered_caches,
     resolve_kernel,
     set_default_kernel,
 )
@@ -40,10 +43,9 @@ __all__ = [
     "LabeledTree",
     "NFA",
     "TreeAutomaton",
+    "clear_registered_caches",
     "complement",
     "default_kernel",
-    "resolve_kernel",
-    "set_default_kernel",
     "enumerate_words",
     "find_counterexample_tree",
     "find_counterexample_word",
@@ -52,6 +54,10 @@ __all__ = [
     "nfa_contained_in_via_complement",
     "nfa_equivalent",
     "path_tree",
+    "register_shared_cache",
+    "registered_caches",
+    "resolve_kernel",
+    "set_default_kernel",
     "tree_contained_in",
     "tree_contained_in_union",
     "tree_equivalent",

@@ -19,7 +19,13 @@ from .materialize import (
     materialize_fixpoint,
     theorem_5_11_via_substrate,
 )
-from .instances import InstanceEnumerator, Label, clear_shared_caches
+from .instances import (
+    InstanceEnumerator,
+    Label,
+    clear_shared_caches,
+    register_core_caches,
+    warm_shared_caches,
+)
 from .ptree_automaton import (
     PTreeAutomaton,
     labeled_tree_to_proof_tree,
@@ -35,6 +41,10 @@ from .word_path import (
     is_chain_program,
     to_chain_form,
 )
+
+# Make the shared core caches visible to the kernel's cache-lifecycle
+# registry as soon as the core layer exists.
+register_core_caches()
 
 __all__ = [
     "BoundednessResult",
@@ -63,8 +73,10 @@ __all__ = [
     "materialize_cq_automaton",
     "materialize_fixpoint",
     "nonrecursive_contained_in_datalog",
-    "theorem_5_11_via_substrate",
     "proof_tree_to_labeled_tree",
+    "register_core_caches",
+    "theorem_5_11_via_substrate",
     "to_chain_form",
     "ucq_contained_in_datalog",
+    "warm_shared_caches",
 ]

@@ -140,16 +140,54 @@ def shared_enumerator(program: Program) -> InstanceEnumerator:
     return InstanceEnumerator(program)
 
 
-def clear_shared_caches() -> None:
-    """Drop the process-wide automaton caches.
+def register_core_caches() -> None:
+    """Register this layer's process-wide caches with the kernel's
+    cache-lifecycle registry.  Imported lazily to avoid import cycles;
+    registration is idempotent (the core package calls this at import
+    time, and :func:`clear_shared_caches` re-asserts it)."""
+    from ..automata.kernel import register_shared_cache
+    from .cq_automaton import shared_cq_automaton
+    from .ptree_automaton import shared_ptree_automaton
 
-    Used by the benchmark harness to measure cold-start behaviour and
-    available to long-running services as a memory valve.  Imported
-    lazily to avoid import cycles.
+    register_shared_cache(shared_enumerator.cache_clear,
+                          "core.shared_enumerator")
+    register_shared_cache(shared_ptree_automaton.cache_clear,
+                          "core.shared_ptree_automaton")
+    register_shared_cache(shared_cq_automaton.cache_clear,
+                          "core.shared_cq_automaton")
+
+
+def clear_shared_caches() -> None:
+    """Drop every registered process-wide cache (automaton caches and
+    the default engine's compiled-plan cache).
+
+    This is the cold-start hook of the benchmark harness and the batch
+    runner (:mod:`repro.runner`), and a memory valve for long-running
+    services.  It delegates to
+    :func:`repro.automata.kernel.clear_registered_caches`, so caches
+    owned by other layers are dropped too.
+    """
+    from ..automata.kernel import clear_registered_caches
+
+    register_core_caches()
+    clear_registered_caches()
+
+
+def warm_shared_caches(program: Program, goal: str, union=None) -> None:
+    """Pre-build the shared per-program caches for *program*/*goal*.
+
+    Constructs the shared enumerator and proof-tree automaton (and,
+    when a union of conjunctive queries is given, the per-disjunct
+    query automata) so subsequent decision calls start warm.  Used by
+    the batch runner's worker initializer: each
+    :class:`~concurrent.futures.ProcessPoolExecutor` worker owns its
+    own process-wide caches, which would otherwise start cold.
     """
     from .cq_automaton import shared_cq_automaton
     from .ptree_automaton import shared_ptree_automaton
 
-    shared_enumerator.cache_clear()
-    shared_ptree_automaton.cache_clear()
-    shared_cq_automaton.cache_clear()
+    shared_enumerator(program)
+    shared_ptree_automaton(program, goal)
+    if union is not None:
+        for theta in union:
+            shared_cq_automaton(program, goal, theta)

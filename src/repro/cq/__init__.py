@@ -25,8 +25,8 @@ from .minimize import is_minimal, minimize
 from .query import UCQ, ConjunctiveQuery, UnionOfConjunctiveQueries
 
 __all__ = [
-    "UCQ",
     "ConjunctiveQuery",
+    "UCQ",
     "UnionOfConjunctiveQueries",
     "canonical_database",
     "containment_mapping",

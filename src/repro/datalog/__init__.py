@@ -12,6 +12,7 @@ from .engine import (
     Engine,
     EngineConfig,
     EvaluationResult,
+    clear_default_plan_cache,
     default_engine,
     evaluate,
     naive_evaluate,
@@ -52,8 +53,8 @@ from .uniform import (
 )
 
 __all__ = [
-    "Atom",
     "ArityError",
+    "Atom",
     "Constant",
     "Database",
     "Engine",
@@ -62,34 +63,32 @@ __all__ = [
     "EvaluationResult",
     "FreshVariableFactory",
     "JoinPlan",
-    "PlanCache",
-    "PlanStore",
+    "MagicRewriting",
     "NotLinearError",
     "NotNonrecursiveError",
     "ParseError",
+    "PlanCache",
+    "PlanStore",
     "Program",
     "ReproError",
     "Rule",
     "Term",
     "ValidationError",
     "Variable",
+    "clear_default_plan_cache",
     "compile_program",
     "count_expansions",
     "default_engine",
     "dependence_graph",
+    "derived_fact_count",
     "evaluate",
     "expansion_union",
     "expansions",
-    "MagicRewriting",
-    "derived_fact_count",
-    "magic_query",
-    "magic_rewrite",
-    "rule_uniformly_subsumed",
-    "uniformly_contained_in",
-    "uniformly_equivalent",
     "is_linear",
     "is_nonrecursive",
     "is_recursive",
+    "magic_query",
+    "magic_rewrite",
     "make_atom",
     "naive_evaluate",
     "parse_atom",
@@ -99,9 +98,12 @@ __all__ = [
     "query",
     "recursive_predicates",
     "rule_to_source",
+    "rule_uniformly_subsumed",
     "seminaive_evaluate",
     "slice_for_goal",
     "strongly_connected_components",
     "topological_order",
     "unfold_nonrecursive",
+    "uniformly_contained_in",
+    "uniformly_equivalent",
 ]

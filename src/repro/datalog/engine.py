@@ -352,6 +352,10 @@ class Engine:
         program.require_goal(goal)
         return self.evaluate(program, database, max_stages=max_stages).facts(goal)
 
+    def clear_plans(self) -> None:
+        """Drop this engine's compiled-plan cache."""
+        self._plans.clear()
+
 
 _DEFAULT_ENGINE = Engine()
 
@@ -359,6 +363,18 @@ _DEFAULT_ENGINE = Engine()
 def default_engine() -> Engine:
     """The process-wide compiled engine used by :func:`evaluate`."""
     return _DEFAULT_ENGINE
+
+
+def clear_default_plan_cache() -> None:
+    """Drop the default engine's compiled-plan cache.
+
+    Registered with the kernel's shared-cache registry (by the package
+    root, to dodge the kernel <-> datalog import cycle), so
+    :func:`repro.core.clear_shared_caches` -- the cold-start hook of
+    the benchmark harness and batch runner -- resets compiled plans
+    along with the automaton caches.
+    """
+    _DEFAULT_ENGINE.clear_plans()
 
 
 def evaluate(program: Program, database: Database,

@@ -351,6 +351,13 @@ class PlanCache:
             self._plans[key] = plan
         return plan
 
+    def clear(self) -> None:
+        """Drop every compiled plan (cold-start / memory valve)."""
+        self._plans.clear()
+
+    def __len__(self):
+        return len(self._plans)
+
 
 def compile_program(program: Program,
                     cache: Optional[PlanCache] = None) -> Dict[Rule, JoinPlan]:

@@ -1,0 +1,44 @@
+"""Parallel batch runner for the scenario registry.
+
+``python -m repro.runner`` shards the scenario matrix (scenario x
+engine x kernel) across worker processes with a warm/cold cache
+lifecycle; :mod:`repro.runner.batch` is the library API and
+:mod:`repro.runner.trajectory` the ``BENCH_*.json`` writer.  See
+``docs/BENCHMARKS.md``.
+"""
+
+from .batch import (
+    CACHE_MODES,
+    ENGINE_CONFIGS,
+    KERNEL_CONFIGS,
+    Job,
+    build_jobs,
+    execute_job,
+    run_batch,
+    select_scenarios,
+    verdicts,
+)
+from .trajectory import (
+    AUTOMATA_TRAJECTORY,
+    PLANS_TRAJECTORY,
+    append_trajectory,
+    find_repo_root,
+    run_metadata,
+)
+
+__all__ = [
+    "AUTOMATA_TRAJECTORY",
+    "CACHE_MODES",
+    "ENGINE_CONFIGS",
+    "Job",
+    "KERNEL_CONFIGS",
+    "PLANS_TRAJECTORY",
+    "append_trajectory",
+    "build_jobs",
+    "execute_job",
+    "find_repo_root",
+    "run_batch",
+    "run_metadata",
+    "select_scenarios",
+    "verdicts",
+]

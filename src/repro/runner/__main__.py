@@ -1,0 +1,159 @@
+"""``python -m repro.runner`` -- the scenario-matrix CLI.
+
+Runs the scenario registry across engine/kernel configurations,
+serially or sharded over worker processes, checks every verdict
+against constructed ground truth, and appends trajectory records to
+``BENCH_automata.json`` (decision scenarios) and ``BENCH_plans.json``
+(evaluation / magic scenarios).
+
+Examples::
+
+    python -m repro.runner --list
+    python -m repro.runner --scenarios all --workers 4
+    python -m repro.runner --scenarios kind:boundedness --kernels bitset
+    python -m repro.runner --scenarios tag:bench --cache cold --no-write
+    python -m repro.runner --scenarios all --workers 4 --verify-serial
+
+Exit status is nonzero when any verdict misses its ground truth or
+(under ``--verify-serial``) the parallel run disagrees with the serial
+one.  See ``docs/BENCHMARKS.md`` for the full reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from .batch import (
+    ENGINE_CONFIGS,
+    KERNEL_CONFIGS,
+    build_jobs,
+    run_batch,
+    select_scenarios,
+    verdicts,
+)
+from .trajectory import (
+    AUTOMATA_TRAJECTORY,
+    PLANS_TRAJECTORY,
+    append_trajectory,
+    find_repo_root,
+    run_metadata,
+)
+from ..workloads.scenarios import DECISION_KINDS, get_scenario
+
+REPO_ROOT = find_repo_root()
+
+
+def _parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Batch scenario runner: decision + evaluation matrix "
+                    "across engine and kernel configurations.",
+    )
+    parser.add_argument("--scenarios", default="all",
+                        help="'all', 'kind:<kind>', 'tag:<tag>', or a "
+                             "comma-separated list of names (default: all)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool width; 1 = serial (default)")
+    parser.add_argument("--engines", default="both",
+                        help="comma list from {%s}, or 'both' "
+                             "(default: both)" % ", ".join(sorted(ENGINE_CONFIGS)))
+    parser.add_argument("--kernels", default="both",
+                        help="comma list from {%s}, or 'both' "
+                             "(default: both)" % ", ".join(sorted(KERNEL_CONFIGS)))
+    parser.add_argument("--cache", choices=("warm", "cold"), default="warm",
+                        help="cache lifecycle: warm (pre-built shared "
+                             "caches) or cold (cleared before every job)")
+    parser.add_argument("--verify-serial", action="store_true",
+                        help="also run the matrix serially and fail on "
+                             "any verdict difference")
+    parser.add_argument("--list", action="store_true",
+                        help="list the selected scenarios and exit")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory for BENCH_*.json (default: repo "
+                             "root)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="skip the trajectory write (CI smoke)")
+    return parser.parse_args(argv)
+
+
+def _labels(spec: str, table: Dict) -> List[str]:
+    return sorted(table) if spec == "both" else spec.split(",")
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv)
+    names = select_scenarios(args.scenarios)
+    if args.list:
+        for name in names:
+            scenario = get_scenario(name)
+            print(f"{name:32s} {scenario.kind:12s} {scenario.description}")
+        return 0
+
+    engines = _labels(args.engines, ENGINE_CONFIGS)
+    kernels = _labels(args.kernels, KERNEL_CONFIGS)
+    jobs = build_jobs(names, engines=engines, kernels=kernels,
+                      cache=args.cache)
+    print(f"repro.runner: {len(names)} scenarios -> {len(jobs)} jobs "
+          f"(engines {engines}, kernels {kernels}, cache {args.cache}, "
+          f"workers {args.workers})")
+    cores = os.cpu_count() or 1
+    if args.workers > cores:
+        print(f"note: {args.workers} workers on {cores} CPU core(s) -- "
+              f"workers will time-slice; wall-clock speedup needs "
+              f"workers <= cores")
+
+    start = time.perf_counter()
+    records = run_batch(jobs, workers=args.workers)
+    wall = time.perf_counter() - start
+
+    failures = [r for r in records if not r["ok"]]
+    for record in records:
+        flag = "ok " if record["ok"] else "FAIL"
+        print(f"  {flag} {record['scenario']:32s} "
+              f"{record['engine']:12s} {record['kernel']:10s} "
+              f"{record['seconds']*1000:9.1f}ms  {record['verdict']}")
+    print(f"total wall-clock {wall:.2f}s "
+          f"(sum of job times {sum(r['seconds'] for r in records):.2f}s)")
+
+    if args.verify_serial:
+        serial_start = time.perf_counter()
+        serial_records = run_batch(jobs, workers=1)
+        serial_wall = time.perf_counter() - serial_start
+        if verdicts(serial_records) != verdicts(records):
+            print("FAIL: parallel verdicts differ from serial execution")
+            return 2
+        print(f"verified against serial run ({serial_wall:.2f}s wall; "
+              f"parallel was {wall:.2f}s)")
+
+    if not args.no_write:
+        out_dir = args.out or REPO_ROOT
+        out_dir.mkdir(parents=True, exist_ok=True)
+        meta = run_metadata(REPO_ROOT)
+        runner_meta = {"workers": args.workers, "cache": args.cache,
+                       "engines": engines, "kernels": kernels,
+                       "wall_s": round(wall, 3), "source": "repro.runner"}
+        decision = [r for r in records if r["kind"] in DECISION_KINDS]
+        evaluation = [r for r in records if r["kind"] not in DECISION_KINDS]
+        if decision:
+            append_trajectory(out_dir / AUTOMATA_TRAJECTORY,
+                              {**meta, "runner": runner_meta,
+                               "entries": decision})
+        if evaluation:
+            append_trajectory(out_dir / PLANS_TRAJECTORY,
+                              {**meta, "runner": runner_meta,
+                               "entries": evaluation})
+        print(f"wrote trajectories under {out_dir}")
+
+    if failures:
+        print(f"FAIL: {len(failures)} job(s) missed ground truth")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,295 @@
+"""The batch decision service: scenario matrices, sharded.
+
+This module turns the scenario registry
+(:mod:`repro.workloads.scenarios`) into a **job matrix** -- scenario x
+:class:`~repro.datalog.engine.EngineConfig` x
+:class:`~repro.automata.kernel.KernelConfig` -- and executes it either
+serially or sharded across a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Design points (each load-bearing for correctness or fairness):
+
+* **Deterministic job ordering.**  Jobs are sorted by ``(scenario,
+  engine, kernel)`` and results are returned in job order regardless
+  of which worker finished first, so a parallel run is comparable to a
+  serial run entry-by-entry (``verdicts`` below, and the differential
+  test in ``tests/test_runner.py``).
+* **Jobs travel by name.**  A job is four strings; workers rebuild
+  payloads from the registry, so nothing heavyweight crosses the
+  process boundary and every worker constructs bit-identical inputs.
+* **Scenario-affine sharding.**  Jobs are grouped by scenario and the
+  groups are dealt round-robin across workers, so all cells of one
+  scenario (both kernels, both engines) land in the same process and
+  share its ``shared_*`` caches -- the same reuse a serial run gets.
+  Sharding whole groups (rather than ``pool.map`` over single jobs)
+  is what makes N workers genuinely divide the work: the expensive
+  per-program derivations happen once per scenario *somewhere*, not
+  once per worker.
+* **Cache lifecycle.**  In ``warm`` mode each worker pre-warms its
+  shard's per-program caches via the ``shared_*`` factories
+  (:func:`repro.core.warm_shared_caches`) before timing its jobs, so
+  per-job seconds reflect the steady state of a long-running service.
+  In ``cold`` mode every job first runs
+  :func:`repro.core.clear_shared_caches` (the registered-cache hook
+  that also drops compiled plans) and uses a fresh engine, measuring
+  cold-start behaviour fairly -- previously the benchmark configs
+  leaked warm caches across modes.
+* **Self-checking.**  Every job's verdict is compared against the
+  scenario's constructed ground truth; a batch with any ``ok=False``
+  entry exits nonzero from the CLI.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..automata.kernel import KernelConfig
+from ..core.instances import clear_shared_caches, warm_shared_caches
+from ..datalog.engine import Engine, EngineConfig
+from ..datalog.unfold import expansion_union, unfold_nonrecursive
+from ..workloads.scenarios import (
+    DECISION_KINDS,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
+
+#: Named engine configurations the matrix can range over.
+ENGINE_CONFIGS: Dict[str, EngineConfig] = {
+    "compiled": EngineConfig(compiled=True),
+    "interpretive": EngineConfig(compiled=False),
+}
+
+#: Named kernel configurations the matrix can range over.
+KERNEL_CONFIGS: Dict[str, KernelConfig] = {
+    "bitset": KernelConfig(backend="bitset"),
+    "frozenset": KernelConfig(backend="frozenset"),
+}
+
+CACHE_MODES = ("warm", "cold")
+
+
+@dataclass(frozen=True, order=True)
+class Job:
+    """One cell of the scenario matrix (all fields are strings, so a
+    job pickles trivially and sorts deterministically)."""
+
+    scenario: str
+    engine: str
+    kernel: str
+    cache: str = "warm"
+
+
+def build_jobs(scenarios: Sequence[str],
+               engines: Sequence[str] = ("compiled",),
+               kernels: Sequence[str] = ("bitset", "frozenset"),
+               cache: str = "warm") -> List[Job]:
+    """The deterministic job matrix for *scenarios*.
+
+    Decision scenarios (containment / equivalence / boundedness) range
+    over *kernels* -- the automaton backend is what their verdicts
+    exercise -- and run on the first engine (the engine only powers
+    probes and backward containments).  Evaluation and magic scenarios
+    range over *engines* and ignore the kernel.  ``cache`` is stamped
+    on every job; mixing modes inside one batch is deliberately not
+    offered (it would reintroduce the unfair sharing this layer
+    exists to prevent).
+    """
+    if cache not in CACHE_MODES:
+        raise ValueError(f"unknown cache mode {cache!r}; expected {CACHE_MODES}")
+    for label in engines:
+        if label not in ENGINE_CONFIGS:
+            raise ValueError(f"unknown engine {label!r}; "
+                             f"known: {sorted(ENGINE_CONFIGS)}")
+    for label in kernels:
+        if label not in KERNEL_CONFIGS:
+            raise ValueError(f"unknown kernel {label!r}; "
+                             f"known: {sorted(KERNEL_CONFIGS)}")
+    jobs: List[Job] = []
+    for name in scenarios:
+        scenario = get_scenario(name)
+        if scenario.kind in DECISION_KINDS:
+            jobs.extend(Job(name, engines[0], kernel, cache)
+                        for kernel in kernels)
+        else:
+            jobs.extend(Job(name, engine, kernels[0], cache)
+                        for engine in engines)
+    return sorted(jobs)
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution.
+# ----------------------------------------------------------------------
+
+# Per-process engine instances: reused across warm jobs so compiled
+# plans amortize, discarded per job in cold mode.
+_ENGINES: Dict[str, Engine] = {}
+
+
+def _engine_for(label: str, cache: str) -> Engine:
+    if cache == "cold":
+        return Engine(ENGINE_CONFIGS[label])
+    engine = _ENGINES.get(label)
+    if engine is None:
+        engine = _ENGINES[label] = Engine(ENGINE_CONFIGS[label])
+    return engine
+
+
+def execute_job(job: Job) -> Dict:
+    """Run one job in the current process and return its record.
+
+    The record is JSON-serializable: scenario metadata, the matrix
+    cell, the verdict, the ground-truth check, and the wall-clock
+    seconds for the decision call (payload construction excluded from
+    neither -- scenario builds are part of the served work).
+    """
+    scenario = get_scenario(job.scenario)
+    if job.cache == "cold":
+        clear_shared_caches()
+        _ENGINES.clear()
+    engine = _engine_for(job.engine, job.cache)
+    kernel = KERNEL_CONFIGS[job.kernel]
+    start = time.perf_counter()
+    result = run_scenario(scenario, engine=engine, kernel=kernel)
+    seconds = time.perf_counter() - start
+    return {
+        "scenario": job.scenario,
+        "kind": scenario.kind,
+        "engine": job.engine,
+        "kernel": job.kernel,
+        "cache": job.cache,
+        "verdict": result["verdict"],
+        "ok": result["ok"],
+        "seconds": round(seconds, 6),
+        "stats": result["stats"],
+        "pid": os.getpid(),
+    }
+
+
+def _warm_scenario(name: str) -> None:
+    """Pre-build the process-wide caches one scenario's jobs will hit,
+    via the ``shared_*`` factories (decision kinds only -- evaluation
+    scenarios warm through the per-engine plan cache on first run).
+
+    The union whose per-disjunct query automata get warmed is the one
+    the decision procedure actually constructs: containment payloads
+    carry it, equivalence unfolds its nonrecursive program, and the
+    boundedness search probes the expansion unions of every depth up
+    to its ``max_depth``.  Without this, the first kernel's recorded
+    seconds would absorb one-time kernel-neutral automaton
+    construction that later kernels reuse for free.
+    """
+    scenario = get_scenario(name)
+    if scenario.kind not in DECISION_KINDS:
+        return
+    payload = scenario.build()
+    program, goal = payload["program"], payload["goal"]
+    unions = []
+    if scenario.kind == "containment":
+        unions.append(payload["union"])
+    elif scenario.kind == "equivalence":
+        unions.append(unfold_nonrecursive(
+            payload["nonrecursive"],
+            payload.get("nonrecursive_goal") or goal))
+    elif scenario.kind == "boundedness":
+        unions.extend(
+            expansion_union(program, goal, depth)
+            for depth in range(1, payload.get("max_depth", 3) + 1))
+    warm_shared_caches(program, goal)
+    for union in unions:
+        warm_shared_caches(program, goal, union)
+
+
+def run_shard(jobs: Sequence[Job]) -> List[Dict]:
+    """Execute a shard of jobs in the current process, in order.
+
+    In warm mode each scenario's shared caches are pre-built once
+    (before its first job) so the recorded per-job seconds are
+    steady-state; cold jobs clear the caches themselves in
+    :func:`execute_job`.
+    """
+    records: List[Dict] = []
+    warmed: set = set()
+    for job in jobs:
+        if job.cache == "warm" and job.scenario not in warmed:
+            _warm_scenario(job.scenario)
+            warmed.add(job.scenario)
+        records.append(execute_job(job))
+    return records
+
+
+def shard_jobs(jobs: Sequence[Job], workers: int) -> List[List[Job]]:
+    """Deal jobs to *workers* shards, keeping each scenario's group of
+    jobs whole (cache affinity).
+
+    Groups are assigned heaviest-first (longest-processing-time
+    greedy, using the scenarios' static ``weight`` hints times the
+    group size) to the currently lightest shard; ties break on sorted
+    scenario name and lowest shard index, so the assignment is fully
+    deterministic.  Empty shards are dropped.
+    """
+    groups: Dict[str, List[Job]] = {}
+    for job in jobs:
+        groups.setdefault(job.scenario, []).append(job)
+    order = sorted(
+        groups,
+        key=lambda name: (-get_scenario(name).weight * len(groups[name]), name),
+    )
+    shards: List[List[Job]] = [[] for _ in range(max(1, workers))]
+    loads = [0.0] * len(shards)
+    for name in order:
+        lightest = min(range(len(shards)), key=lambda i: (loads[i], i))
+        shards[lightest].extend(groups[name])
+        loads[lightest] += get_scenario(name).weight * len(groups[name])
+    return [shard for shard in shards if shard]
+
+
+def run_batch(jobs: Sequence[Job], workers: int = 1) -> List[Dict]:
+    """Execute *jobs*, serially (``workers <= 1``) or sharded across a
+    process pool, returning records **in job order** either way."""
+    jobs = list(jobs)
+    if workers <= 1:
+        records = run_shard(jobs)
+    else:
+        shards = shard_jobs(jobs, workers)
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            records = [record
+                       for shard_records in pool.map(run_shard, shards)
+                       for record in shard_records]
+    by_key = {(r["scenario"], r["engine"], r["kernel"], r["cache"]): r
+              for r in records}
+    return [by_key[(j.scenario, j.engine, j.kernel, j.cache)] for j in jobs]
+
+
+def verdicts(records: Sequence[Dict]) -> List[Tuple[str, str, str, str]]:
+    """The comparable core of a batch: ``(scenario, engine, kernel,
+    repr(verdict))`` per record, in order.  Two runs of the same matrix
+    -- serial vs parallel, N vs M workers -- must produce equal lists
+    (asserted by ``tests/test_runner.py`` and the CLI's
+    ``--verify-serial``)."""
+    return [(r["scenario"], r["engine"], r["kernel"], repr(r["verdict"]))
+            for r in records]
+
+
+def select_scenarios(spec: str) -> List[str]:
+    """Resolve a CLI scenario spec to sorted registry names.
+
+    ``all`` -- every scenario; ``kind:<kind>`` / ``tag:<tag>`` --
+    filtered; otherwise a comma-separated list of names (each
+    validated)."""
+    if spec == "all":
+        return scenario_names()
+    if spec.startswith("kind:"):
+        names = scenario_names(kind=spec[len("kind:"):])
+    elif spec.startswith("tag:"):
+        names = scenario_names(tag=spec[len("tag:"):])
+    else:
+        names = sorted(spec.split(","))
+        for name in names:
+            get_scenario(name)
+    if not names:
+        raise ValueError(f"scenario spec {spec!r} selected nothing")
+    return names

@@ -1,0 +1,80 @@
+"""Scenario workloads: generated program/EDB families with known
+ground truth, and the named-scenario registry the batch runner, the
+benchmark suite, and CI all draw from.
+
+See :mod:`repro.workloads.generators` for the families and
+:mod:`repro.workloads.scenarios` for the catalogue;
+``docs/BENCHMARKS.md`` is the user-facing reference.
+
+    >>> from repro.workloads import scenario_names
+    >>> len(scenario_names()) >= 12
+    True
+"""
+
+from .generators import (
+    alternating_recursion,
+    bounded_program,
+    bounded_rewriting,
+    bounded_unbounded_pairs,
+    chain_edges,
+    covering_union,
+    edges_database,
+    grid_edges,
+    guarded_chain,
+    random_graph_edges,
+    reachable_pair_count,
+    reachable_pairs,
+    same_depth_pair_count,
+    same_depth_pairs,
+    sirup,
+    sirup_covering_union,
+    star_edges,
+    tree_edges,
+    tree_updown_database,
+    unbounded_program,
+)
+from .scenarios import (
+    DECISION_KINDS,
+    KINDS,
+    REGISTRY,
+    Scenario,
+    get_scenario,
+    kind_runner,
+    register,
+    rows_checksum,
+    run_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "DECISION_KINDS",
+    "KINDS",
+    "REGISTRY",
+    "Scenario",
+    "alternating_recursion",
+    "bounded_program",
+    "bounded_rewriting",
+    "bounded_unbounded_pairs",
+    "chain_edges",
+    "covering_union",
+    "edges_database",
+    "get_scenario",
+    "grid_edges",
+    "guarded_chain",
+    "kind_runner",
+    "random_graph_edges",
+    "reachable_pair_count",
+    "reachable_pairs",
+    "register",
+    "rows_checksum",
+    "run_scenario",
+    "same_depth_pair_count",
+    "same_depth_pairs",
+    "scenario_names",
+    "sirup",
+    "sirup_covering_union",
+    "star_edges",
+    "tree_edges",
+    "tree_updown_database",
+    "unbounded_program",
+]

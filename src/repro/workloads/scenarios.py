@@ -1,0 +1,509 @@
+"""The scenario registry: named, self-checking decision workloads.
+
+A :class:`Scenario` bundles one decision (or evaluation) job -- its
+inputs, its kind, and its **expected ground truth** -- behind a stable
+name.  The registry is the single catalogue that the batch runner
+(:mod:`repro.runner`), the benchmark suite (``benchmarks/``), the CI
+smoke matrix, and the tests all draw from, replacing the ad-hoc
+configs that used to live in each ``benchmarks/bench_*.py``.
+
+Kinds and their verdicts
+------------------------
+
+===============  ====================================================
+kind             verdict (JSON-serializable, process-independent)
+===============  ====================================================
+``containment``  ``{"contained": bool}``
+``equivalence``  ``{"equivalent", "forward", "backward": bool}``
+``boundedness``  ``{"bounded": True|None, "depth": int|None}``
+``evaluation``   ``{"count": int, "checksum": str}`` (sha1 of the
+                 sorted goal rows -- stable across processes, unlike
+                 ``hash()`` under ``PYTHONHASHSEED``)
+``magic``        ``{"rows": int, "magic_beats_direct": bool}`` (the
+                 derived-fact counts land in ``stats``)
+===============  ====================================================
+
+``run_scenario(scenario, engine=..., kernel=...)`` executes a scenario
+under an explicit :class:`~repro.datalog.engine.Engine` and
+:class:`~repro.automata.kernel.KernelConfig` and returns a result dict
+``{"verdict": ..., "ok": verdict == expected, "stats": ...}``; the
+caller owns timing and cache lifecycle.  Scenarios are rebuilt from
+the registry *by name* inside worker processes, so nothing here needs
+to pickle beyond the name strings.
+
+    >>> from repro.workloads import get_scenario, run_scenario
+    >>> run_scenario(get_scenario("bounded_buys"))["ok"]
+    True
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..automata.kernel import KernelConfig
+from ..cq.query import UnionOfConjunctiveQueries
+from ..datalog.engine import Engine
+from ..datalog.magic import derived_fact_count, magic_query
+from ..datalog.unfold import expansion_union
+from ..programs.library import (
+    buys_bounded,
+    buys_bounded_rewriting,
+    buys_recursive,
+    buys_recursive_rewriting,
+    dist,
+    plain_transitive_closure,
+    same_generation,
+    transitive_closure,
+    widget_certified,
+    widget_certified_rewriting,
+)
+from ..core.boundedness import decide_boundedness
+from ..core.containment import contained_in_ucq
+from ..core.equivalence import is_equivalent_to_nonrecursive
+from . import generators as gen
+
+KINDS = ("containment", "equivalence", "boundedness", "evaluation", "magic")
+
+#: Kinds decided by the automaton stack (the kernel matters); the
+#: remaining kinds run on the evaluation engine (the engine matters).
+DECISION_KINDS = ("containment", "equivalence", "boundedness")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, self-checking workload.
+
+    ``build`` returns the scenario payload (programs, unions,
+    databases) freshly on every call -- payloads are deterministic, so
+    two builds are interchangeable.  ``expected`` is the ground-truth
+    verdict computed by construction (see
+    :mod:`repro.workloads.generators`), against which every run is
+    checked.
+    """
+
+    name: str
+    kind: str
+    description: str
+    build: Callable[[], Dict]
+    expected: Mapping
+    tags: Tuple[str, ...] = ()
+    #: Rough relative cost of one run (1.0 = a few ms).  Only a load-
+    #: balancing hint for the batch runner's shard dealer -- never
+    #: affects verdicts or ordering of results.
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown scenario kind {self.kind!r}")
+
+
+REGISTRY: Dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Add *scenario* to the registry (names must be unique)."""
+    if scenario.name in REGISTRY:
+        raise ValueError(f"duplicate scenario name {scenario.name!r}")
+    REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name (raises ``KeyError`` with the known
+    names listed when absent)."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(sorted(REGISTRY))}"
+        ) from None
+
+
+def scenario_names(kind: Optional[str] = None,
+                   tag: Optional[str] = None) -> List[str]:
+    """Registered names, sorted, optionally filtered by kind / tag."""
+    return sorted(
+        name
+        for name, s in REGISTRY.items()
+        if (kind is None or s.kind == kind) and (tag is None or tag in s.tags)
+    )
+
+
+def rows_checksum(rows) -> str:
+    """A process-independent digest of a relation.
+
+    Rows are normalized to plain-value tuples (engine rows hold
+    :class:`~repro.datalog.terms.Constant` objects; structural ground
+    truth holds bare strings) and sorted, so the digest agrees between
+    the engine under test and the graph-walk oracle, across processes
+    and ``PYTHONHASHSEED`` values.
+    """
+    normalized = sorted(
+        tuple(getattr(value, "value", value) for value in row)
+        for row in rows
+    )
+    return hashlib.sha1(repr(normalized).encode()).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Per-kind execution.
+# ----------------------------------------------------------------------
+
+def _run_containment(payload, engine, kernel):
+    result = contained_in_ucq(payload["program"], payload["goal"],
+                              payload["union"],
+                              method=payload.get("method", "auto"),
+                              kernel=kernel)
+    return {"contained": result.contained}, dict(result.stats)
+
+
+def _run_equivalence(payload, engine, kernel):
+    result = is_equivalent_to_nonrecursive(
+        payload["program"], payload["nonrecursive"], payload["goal"],
+        nonrecursive_goal=payload.get("nonrecursive_goal"),
+        engine=engine, kernel=kernel,
+    )
+    verdict = {"equivalent": result.equivalent,
+               "forward": result.forward_holds,
+               "backward": result.backward_holds}
+    return verdict, dict(result.stats)
+
+
+def _run_boundedness(payload, engine, kernel):
+    result = decide_boundedness(payload["program"], payload["goal"],
+                                max_depth=payload.get("max_depth", 3),
+                                engine=engine, kernel=kernel)
+    return {"bounded": result.bounded, "depth": result.depth}, {}
+
+
+def _run_evaluation(payload, engine, kernel):
+    engine = engine or Engine()
+    rows = engine.query(payload["program"], payload["database"],
+                        payload["goal"])
+    return {"count": len(rows), "checksum": rows_checksum(rows)}, {}
+
+
+def _run_magic(payload, engine, kernel):
+    rows = magic_query(payload["program"], payload["database"],
+                       payload["goal"], payload["adornment"],
+                       payload["bindings"], engine=engine)
+    counts = derived_fact_count(payload["program"], payload["database"],
+                                payload["goal"], payload["adornment"],
+                                payload["bindings"], engine=engine)
+    verdict = {"rows": len(rows),
+               "magic_beats_direct": counts["magic"] < counts["direct"]}
+    return verdict, dict(counts)
+
+
+_RUNNERS = {
+    "containment": _run_containment,
+    "equivalence": _run_equivalence,
+    "boundedness": _run_boundedness,
+    "evaluation": _run_evaluation,
+    "magic": _run_magic,
+}
+
+
+def kind_runner(kind: str) -> Callable:
+    """The execution function for *kind*: ``fn(payload, engine, kernel)
+    -> (verdict, stats)``.  Exposed for harnesses (``run_bench.py``)
+    that time the bare decision call under explicit configurations
+    without the :func:`run_scenario` wrapper."""
+    return _RUNNERS[kind]
+
+
+def run_scenario(scenario: Scenario,
+                 engine: Optional[Engine] = None,
+                 kernel: Optional[KernelConfig] = None) -> Dict:
+    """Execute *scenario* and check its verdict against ground truth.
+
+    Returns ``{"verdict": dict, "ok": bool, "stats": dict}``.  The
+    engine/kernel default to the process defaults; timing and cache
+    lifecycle belong to the caller (:mod:`repro.runner`).
+    """
+    payload = scenario.build()
+    verdict, stats = _RUNNERS[scenario.kind](payload, engine, kernel)
+    return {
+        "verdict": verdict,
+        "ok": verdict == dict(scenario.expected),
+        "stats": stats,
+    }
+
+
+# ----------------------------------------------------------------------
+# The registered catalogue.
+#
+# Builders are module-level closures over deterministic generator
+# calls, so worker processes reconstruct identical payloads by name.
+# ----------------------------------------------------------------------
+
+def _containment(name, description, build, contained, tags=(), weight=1.0):
+    register(Scenario(name=name, kind="containment",
+                      description=description, build=build,
+                      expected={"contained": contained}, tags=tuple(tags),
+                      weight=weight))
+
+
+def _equivalence(name, description, build, equivalent, forward, backward,
+                 tags=(), weight=1.0):
+    register(Scenario(name=name, kind="equivalence",
+                      description=description, build=build,
+                      expected={"equivalent": equivalent, "forward": forward,
+                                "backward": backward},
+                      tags=tuple(tags), weight=weight))
+
+
+def _boundedness(name, description, build, bounded, depth, tags=(),
+                 weight=1.0):
+    register(Scenario(name=name, kind="boundedness",
+                      description=description, build=build,
+                      expected={"bounded": bounded, "depth": depth},
+                      tags=tuple(tags), weight=weight))
+
+
+# --- containment ------------------------------------------------------
+
+_containment(
+    "contain_chain_w1",
+    "guarded chain (width 1) in its covering union (Theorem 5.12, holds)",
+    lambda: {"program": gen.guarded_chain(1), "goal": "p",
+             "union": gen.covering_union()},
+    contained=True, tags=("bench", "chain"),
+)
+
+_containment(
+    "contain_chain_w2",
+    "guarded chain (width 2) in its covering union (wider instance space)",
+    lambda: {"program": gen.guarded_chain(2), "goal": "p",
+             "union": gen.covering_union()},
+    contained=True, tags=("bench", "chain"), weight=3.0,
+)
+
+_containment(
+    "contain_tc_trunc1",
+    "transitive closure in its depth-1 truncation (fails immediately)",
+    lambda: {"program": transitive_closure(), "goal": "p",
+             "union": expansion_union(transitive_closure(), "p", 1)},
+    contained=False, tags=("bench", "truncation"),
+)
+
+_containment(
+    "contain_tc_trunc2",
+    "transitive closure in its depth-2 truncation (fails: unbounded)",
+    lambda: {"program": transitive_closure(), "goal": "p",
+             "union": expansion_union(transitive_closure(), "p", 2)},
+    contained=False, tags=("bench", "truncation"),
+)
+
+_containment(
+    "contain_tc_trunc3",
+    "transitive closure in its depth-3 truncation (fails, deeper search)",
+    lambda: {"program": transitive_closure(), "goal": "p",
+             "union": expansion_union(transitive_closure(), "p", 3)},
+    contained=False, tags=("bench", "truncation"),
+)
+
+_containment(
+    "contain_tc_trunc2_word",
+    "depth-2 truncation via the forced word-automaton pathway "
+    "(chain-form program, Proposition 4.3)",
+    lambda: {"program": transitive_closure(), "goal": "p",
+             "union": expansion_union(transitive_closure(), "p", 2),
+             "method": "word"},
+    contained=False, tags=("word", "truncation"),
+)
+
+_containment(
+    "contain_sirup_s7",
+    "random sirup (seed 7) in its covering union (holds by construction)",
+    lambda: {"program": gen.sirup(2, seed=7), "goal": "p",
+             "union": gen.sirup_covering_union(2, seed=7)},
+    contained=True, tags=("generated", "sirup"), weight=20.0,
+)
+
+_containment(
+    "contain_sirup_s11_uncovered",
+    "random sirup (seed 11) against a union missing the base disjunct "
+    "(fails with a depth-0 witness)",
+    lambda: {"program": gen.sirup(2, seed=11), "goal": "p",
+             "union": UnionOfConjunctiveQueries(
+                 list(gen.sirup_covering_union(2, seed=11))[1:])},
+    contained=False, tags=("generated", "sirup"),
+)
+
+_containment(
+    "contain_alternating_trunc2",
+    "alternating p/q recursion in its depth-2 truncation (fails)",
+    lambda: {"program": gen.alternating_recursion(), "goal": "p",
+             "union": expansion_union(gen.alternating_recursion(), "p", 2)},
+    contained=False, tags=("alternating", "truncation"),
+)
+
+# --- equivalence ------------------------------------------------------
+
+_equivalence(
+    "equiv_buys_bounded",
+    "Example 1.1: Pi_1 is equivalent to its nonrecursive rewriting",
+    lambda: {"program": buys_bounded(),
+             "nonrecursive": buys_bounded_rewriting(), "goal": "buys"},
+    equivalent=True, forward=True, backward=True, tags=("paper", "bench"),
+)
+
+_equivalence(
+    "equiv_buys_recursive",
+    "Example 1.1: Pi_2 is inherently recursive (forward containment fails)",
+    lambda: {"program": buys_recursive(),
+             "nonrecursive": buys_recursive_rewriting(), "goal": "buys"},
+    equivalent=False, forward=False, backward=True, tags=("paper", "bench"),
+)
+
+_equivalence(
+    "equiv_widget",
+    "certified-supplier program equals its depth-2 rewriting",
+    lambda: {"program": widget_certified(),
+             "nonrecursive": widget_certified_rewriting(), "goal": "ok"},
+    equivalent=True, forward=True, backward=True, tags=("bench",),
+)
+
+_equivalence(
+    "equiv_bounded_family_s3",
+    "generated bounded program (2 guards, seed 3) equals its rewriting",
+    lambda: {"program": gen.bounded_program(2, seed=3),
+             "nonrecursive": gen.bounded_rewriting(2, seed=3), "goal": "p"},
+    equivalent=True, forward=True, backward=True, tags=("generated",),
+)
+
+_equivalence(
+    "equiv_dist_mismatch",
+    "Example 6.1: dist(2) (paths of length 4) is not dist(1) (length 2)",
+    lambda: {"program": dist(2), "nonrecursive": dist(1), "goal": "dist2",
+             "nonrecursive_goal": "dist1"},
+    equivalent=False, forward=False, backward=False, tags=("paper",),
+    weight=3.0,
+)
+
+# --- boundedness ------------------------------------------------------
+
+_boundedness(
+    "bounded_buys",
+    "Example 1.1: Pi_1 certified bounded at depth 2",
+    lambda: {"program": buys_bounded(), "goal": "buys", "max_depth": 3},
+    bounded=True, depth=2, tags=("paper", "bench"),
+)
+
+_boundedness(
+    "bounded_widget",
+    "certified-supplier program certified bounded at depth 2",
+    lambda: {"program": widget_certified(), "goal": "ok", "max_depth": 3},
+    bounded=True, depth=2, tags=("bench",),
+)
+
+_boundedness(
+    "bounded_family_s5",
+    "generated bounded program (3 guards, seed 5) certified at depth 2",
+    lambda: {"program": gen.bounded_program(3, seed=5), "goal": "p",
+             "max_depth": 3},
+    bounded=True, depth=2, tags=("generated",), weight=3.0,
+)
+
+_boundedness(
+    "unbounded_tc",
+    "transitive closure: no certificate up to depth 3 (unbounded)",
+    lambda: {"program": transitive_closure(), "goal": "p", "max_depth": 3},
+    bounded=None, depth=None, tags=("bench",),
+)
+
+_boundedness(
+    "unbounded_sirup_s9",
+    "random sirup (seed 9): no certificate up to depth 3 (unbounded)",
+    lambda: {"program": gen.sirup(1, seed=9), "goal": "p", "max_depth": 3},
+    bounded=None, depth=None, tags=("generated", "sirup"),
+)
+
+# --- evaluation -------------------------------------------------------
+
+def _eval_chain_payload():
+    edges = gen.chain_edges(120)
+    return {"program": transitive_closure(), "goal": "p",
+            "database": gen.edges_database(edges, ("e", "e0"))}
+
+
+def _eval_grid_payload():
+    edges = gen.grid_edges(10, 10)
+    return {"program": plain_transitive_closure(), "goal": "p",
+            "database": gen.edges_database(edges, ("e",))}
+
+
+def _eval_random_payload():
+    edges = gen.random_graph_edges(60, 180, seed=13)
+    return {"program": plain_transitive_closure(), "goal": "p",
+            "database": gen.edges_database(edges, ("e",))}
+
+
+def _eval_sg_payload():
+    return {"program": same_generation(), "goal": "sg",
+            "database": gen.tree_updown_database(5, 2)}
+
+
+def _evaluation(name, description, build, expected_rows, tags=()):
+    """Register an evaluation scenario whose ground truth (count and
+    row checksum) comes from a *structurally* computed row set -- the
+    engine's answer is checked against graph walks, not against
+    itself."""
+    register(Scenario(
+        name=name, kind="evaluation", description=description, build=build,
+        expected={"count": len(expected_rows),
+                  "checksum": rows_checksum(expected_rows)},
+        tags=tuple(tags),
+    ))
+
+
+_evaluation(
+    "eval_tc_chain_120",
+    "transitive closure over a 120-edge chain (7260 paths)",
+    _eval_chain_payload,
+    gen.reachable_pairs(gen.chain_edges(120)),
+    tags=("bench", "chain"),
+)
+
+_evaluation(
+    "eval_tc_grid_10x10",
+    "nonlinear reachability over a 10x10 monotone grid",
+    _eval_grid_payload,
+    gen.reachable_pairs(gen.grid_edges(10, 10)),
+    tags=("bench", "grid"),
+)
+
+_evaluation(
+    "eval_tc_random_s13",
+    "reachability over a random graph (60 nodes, seed 13)",
+    _eval_random_payload,
+    gen.reachable_pairs(gen.random_graph_edges(60, 180, seed=13)),
+    tags=("generated",),
+)
+
+_evaluation(
+    "eval_sg_tree_d5",
+    "same-generation over a binary tree of depth 5 "
+    "(equal-depth pairs: sum of 4^d)",
+    _eval_sg_payload,
+    gen.same_depth_pairs(5, 2),
+    tags=("bench", "tree"),
+)
+
+# --- magic ------------------------------------------------------------
+
+register(Scenario(
+    name="magic_star_8x12",
+    kind="magic",
+    description="bound-first reachability on an 8-ray star: magic "
+                "derives an order of magnitude fewer facts",
+    build=lambda: {"program": plain_transitive_closure(), "goal": "p",
+                   "database": gen.edges_database(gen.star_edges(8, 12),
+                                                  ("e",)),
+                   "adornment": "bf", "bindings": ("r0_0",)},
+    expected={"rows": 12, "magic_beats_direct": True},
+    tags=("bench", "magic"),
+))

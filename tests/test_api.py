@@ -14,7 +14,9 @@ MODULES = [
     "repro.datalog",
     "repro.lowerbounds",
     "repro.programs",
+    "repro.runner",
     "repro.trees",
+    "repro.workloads",
 ]
 
 
@@ -27,8 +29,30 @@ def test_module_imports(name):
 @pytest.mark.parametrize("name", MODULES)
 def test_all_entries_resolve(name):
     module = importlib.import_module(name)
-    for entry in getattr(module, "__all__", []):
+    assert getattr(module, "__all__", None), f"{name} lacks __all__"
+    for entry in module.__all__:
         assert hasattr(module, entry), f"{name}.__all__ lists missing {entry!r}"
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_all_is_sorted_and_unique(name):
+    module = importlib.import_module(name)
+    entries = list(getattr(module, "__all__", []))
+    assert entries == sorted(set(entries)), f"{name}.__all__ unsorted/duplicated"
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_submodules_have_docstrings(name):
+    """Every .py file under the listed packages carries a module
+    docstring (the docstring-audit backstop)."""
+    import pkgutil
+
+    package = importlib.import_module(name)
+    if not hasattr(package, "__path__"):
+        return
+    for info in pkgutil.iter_modules(package.__path__):
+        sub = importlib.import_module(f"{name}.{info.name}")
+        assert sub.__doc__, f"{name}.{info.name} lacks a module docstring"
 
 
 @pytest.mark.parametrize("name", MODULES)
