@@ -1,8 +1,10 @@
 """E-PLAN -- compiled join plans vs the interpretive evaluator.
 
-Not a paper table: measures the engine rework (PR 1).  The compiled
-path -- join order fixed at compile time, constants interned to ints,
-indexes maintained incrementally -- must (a) produce bit-identical
+Not a paper table: measures the engine rework (PR 1) and the columnar
+data plane (PR 4).  The compiled paths -- join order fixed at compile
+time, constants interned to ints, indexes maintained incrementally;
+executed row-at-a-time (backend="rows") or as batch kernels over
+column stores (backend="columnar") -- must (a) produce bit-identical
 results to the interpretive path on every program in the library and
 (b) beat it on the linear-pathway and chained-recursion workloads.
 """
@@ -16,7 +18,8 @@ from repro.datalog.database import Database
 from repro.datalog.engine import Engine, EngineConfig
 from repro.programs import library as lib
 
-COMPILED = Engine(EngineConfig(compiled=True))
+COLUMNAR = Engine(EngineConfig(compiled=True, backend="columnar"))
+COMPILED = Engine(EngineConfig(compiled=True, backend="rows"))
 INTERPRETIVE = Engine(EngineConfig(compiled=False))
 
 
@@ -63,6 +66,13 @@ WORKLOADS = {
 def test_compiled_engine(benchmark, workload):
     program, db = WORKLOADS[workload]
     result = benchmark(lambda: COMPILED.evaluate(program, db))
+    assert result.fixpoint
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_columnar_engine(benchmark, workload):
+    program, db = WORKLOADS[workload]
+    result = benchmark(lambda: COLUMNAR.evaluate(program, db))
     assert result.fixpoint
 
 
@@ -134,9 +144,11 @@ def _library_cases():
 
 
 def test_bit_identical_across_library(benchmark):
-    """evaluate() agrees between the two paths -- idb rows, stage count
-    and fixpoint flag -- on every library program, for the unbounded
-    fixpoint and a spread of stage bounds."""
+    """evaluate() agrees across all three paths -- columnar batch
+    kernels, row-at-a-time compiled plans, and the interpretive
+    reference: idb rows, stage count and fixpoint flag -- on every
+    library program, for the unbounded fixpoint and a spread of stage
+    bounds."""
 
     def check_all():
         checked = 0
@@ -144,9 +156,10 @@ def test_bit_identical_across_library(benchmark):
             for max_stages in (None, 0, 1, 2, 5):
                 a = COMPILED.evaluate(program, db, max_stages=max_stages)
                 b = INTERPRETIVE.evaluate(program, db, max_stages=max_stages)
-                assert a.idb == b.idb, (name, max_stages)
-                assert a.stages == b.stages, (name, max_stages)
-                assert a.fixpoint == b.fixpoint, (name, max_stages)
+                c = COLUMNAR.evaluate(program, db, max_stages=max_stages)
+                assert a.idb == b.idb == c.idb, (name, max_stages)
+                assert a.stages == b.stages == c.stages, (name, max_stages)
+                assert a.fixpoint == b.fixpoint == c.fixpoint, (name, max_stages)
                 checked += 1
         return checked
 

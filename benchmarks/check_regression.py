@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Perf-regression smoke guard for the benchmark trajectories.
+
+Compares a freshly produced ``BENCH_plans.json`` (the *candidate*,
+normally written by ``run_bench.py --smoke --out DIR``) against the
+committed trajectory (the *baseline*) and exits nonzero when any
+shared per-scenario median regresses by more than ``--threshold``.
+
+Deliberately tolerant -- this is a tripwire for order-of-magnitude
+regressions (a join kernel falling back to per-row interpretation),
+not a microbenchmark gate:
+
+* only records with the same ``smoke`` flag are compared;
+* the baseline value per entry is the **maximum over the last three**
+  matching records, so one lucky fast run cannot tighten the gate
+  (one slow run loosens it instead -- the tolerant direction);
+* timings under ``--min-ms`` are ignored (pure jitter at smoke sizes);
+* the check is **skipped** (exit 0, with a message) when the baseline
+  was recorded on a different machine architecture or Python
+  major.minor, since cross-machine medians are not comparable.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --smoke --out /tmp/bench
+    python benchmarks/check_regression.py \
+        --baseline BENCH_plans.json --candidate /tmp/bench/BENCH_plans.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+#: Entry fields treated as timings (seconds).  Footprint fields
+#: (``*_peak_kb``) are tracked in the trajectory but not gated.
+TIMING_SUFFIX = "_s"
+
+
+def load_records(path: Path, smoke: bool) -> List[Dict]:
+    if not path.exists():
+        return []
+    try:
+        trajectory = json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return []
+    return [r for r in trajectory if bool(r.get("smoke")) == smoke]
+
+
+def comparable(baseline: Dict, candidate: Dict) -> bool:
+    """Same architecture and Python major.minor?"""
+    if baseline.get("machine") != candidate.get("machine"):
+        return False
+    minor = lambda v: ".".join(str(v).split(".")[:2])  # noqa: E731
+    return minor(baseline.get("python", "")) == minor(candidate.get("python", ""))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed BENCH_plans.json trajectory")
+    parser.add_argument("--candidate", type=Path, required=True,
+                        help="freshly written trajectory to check")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="fail when candidate/baseline exceeds this "
+                             "ratio (default: 2.0)")
+    parser.add_argument("--min-ms", type=float, default=5.0,
+                        help="ignore timings below this many milliseconds "
+                             "(default: 5.0)")
+    parser.add_argument("--history", type=int, default=3,
+                        help="baseline = max over this many most recent "
+                             "matching records (default: 3)")
+    args = parser.parse_args()
+
+    # A missing/empty candidate is a broken pipeline, not a pass: the
+    # preceding CI step is contractually supposed to have written it.
+    candidates = load_records(args.candidate, smoke=True)
+    if not candidates:
+        print(f"check_regression: ERROR -- no smoke record in "
+              f"{args.candidate} (was the smoke suite run with --out?)")
+        return 2
+    candidate = candidates[-1]
+
+    baselines = load_records(args.baseline, smoke=True)
+    baselines = [r for r in baselines if comparable(r, candidate)]
+    if not baselines:
+        print("check_regression: SKIP -- no committed smoke baseline for "
+              f"machine={candidate.get('machine')} "
+              f"python={platform.python_version()} "
+              "(cross-machine medians are not comparable)")
+        return 0
+    baselines = baselines[-args.history:]
+
+    # name -> field -> max seconds across the baseline window (the
+    # slowest recent accepted run is the tolerant reference point).
+    floor: Dict[str, Dict[str, float]] = {}
+    for record in baselines:
+        for entry in record.get("entries", []):
+            fields = floor.setdefault(entry["name"], {})
+            for key, value in entry.items():
+                if key.endswith(TIMING_SUFFIX) and isinstance(value, (int, float)):
+                    fields[key] = max(fields.get(key, value), value)
+
+    failures = []
+    checked = 0
+    min_seconds = args.min_ms / 1000.0
+    for entry in candidate.get("entries", []):
+        base_fields = floor.get(entry["name"], {})
+        for key, base in base_fields.items():
+            value = entry.get(key)
+            if not isinstance(value, (int, float)):
+                continue
+            if base < min_seconds and value < min_seconds:
+                continue
+            checked += 1
+            ratio = value / base if base else float("inf")
+            marker = "FAIL" if ratio > args.threshold else "ok  "
+            print(f"  {marker} {entry['name']:42s} {key:16s} "
+                  f"{base*1000:9.2f}ms -> {value*1000:9.2f}ms "
+                  f"({ratio:.2f}x)")
+            if ratio > args.threshold:
+                failures.append((entry["name"], key, ratio))
+
+    if failures:
+        print(f"check_regression: {len(failures)} timing(s) regressed "
+              f">{args.threshold}x against {args.baseline}")
+        return 1
+    print(f"check_regression: {checked} timing(s) within {args.threshold}x "
+          f"of the committed baseline ({len(baselines)} record window)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,13 @@ three modes:
 ``speedup`` is ``seed_like / bitset`` -- what the kernel rework buys
 on the steady-state (repeated-query) workload the benchmarks model.
 
+The plans suite ranges over the three engine data planes (columnar /
+row-compiled / interpretive) and the **scale suite** times the
+columnar batch kernels against the row-at-a-time compiled reference on
+``tag:scale`` scenarios (10^5-fact EDBs).  Every entry also records a
+tracemalloc ``*_peak_kb`` footprint, measured outside the timing loops
+(see ``docs/BENCHMARKS.md`` for the schema).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # full run, repo-root JSON
@@ -39,6 +46,7 @@ import argparse
 import statistics
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -81,6 +89,12 @@ DECISION_CASES_SMOKE = ["contain_chain_w1", "contain_tc_trunc1", "bounded_buys"]
 PLANS_CASES = ["eval_tc_chain_120", "eval_tc_grid_10x10", "eval_sg_tree_d5"]
 PLANS_CASES_SMOKE = ["eval_sg_tree_d5"]
 
+# Large-EDB scenarios timed by the scale suite (columnar vs row-at-a-
+# time data plane; 10^5 facts each).
+SCALE_CASES = ["scale_chain_2hop_100k", "scale_random_reach_120k",
+               "scale_grid_reach_230x230"]
+SCALE_CASES_SMOKE = ["scale_chain_2hop_5k"]
+
 
 def median_seconds(fn, repeats: int) -> float:
     times = []
@@ -89,6 +103,22 @@ def median_seconds(fn, repeats: int) -> float:
         fn()
         times.append(time.perf_counter() - start)
     return statistics.median(times)
+
+
+def peak_kb(fn) -> float:
+    """Peak traced allocation of one *fn* call, in KiB.
+
+    Measured once, outside the timing loops -- tracemalloc slows the
+    interpreter severalfold, so footprint and wall time come from
+    separate runs of the same callable.
+    """
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return round(peak / 1024, 1)
 
 
 def time_kernel_case(name: str, fn, repeats: int):
@@ -117,6 +147,7 @@ def time_kernel_case(name: str, fn, repeats: int):
         "reference_s": round(reference, 6),
         "bitset_s": round(bitset, 6),
         "speedup": round(seed / bitset, 2) if bitset else None,
+        "bitset_peak_kb": peak_kb(lambda: fn(BITSET)),
     }
     print(f"  {name:42s} seed {seed*1000:8.2f}ms  "
           f"ref {reference*1000:8.2f}ms  bitset {bitset*1000:8.2f}ms  "
@@ -220,11 +251,12 @@ def automata_suite(repeats: int, smoke: bool):
 
 
 def plans_suite(repeats: int, smoke: bool):
-    """Compiled vs interpretive engine over registry evaluation
-    scenarios (each run's verdict is checked against the structural
-    ground truth)."""
+    """Columnar vs row-compiled vs interpretive engine over registry
+    evaluation scenarios (each run's verdict is checked against the
+    structural ground truth)."""
     print("evaluation plans (registry scenarios):")
-    compiled = Engine(EngineConfig(compiled=True))
+    columnar = Engine(EngineConfig(backend="columnar"))
+    compiled = Engine(EngineConfig(backend="rows"))
     interpretive = Engine(EngineConfig(compiled=False))
     entries = []
     cases = PLANS_CASES_SMOKE if smoke else PLANS_CASES
@@ -238,19 +270,76 @@ def plans_suite(repeats: int, smoke: bool):
             verdict, _ = runner(payload, engine, None)
             assert verdict == expected, (name, verdict, expected)
 
+        columnar_s = median_seconds(lambda: run(columnar), repeats)
         compiled_s = median_seconds(lambda: run(compiled), repeats)
         interpretive_s = median_seconds(lambda: run(interpretive), repeats)
         entry = {
             "name": name,
             "repeats": repeats,
+            "columnar_s": round(columnar_s, 6),
             "compiled_s": round(compiled_s, 6),
             "interpretive_s": round(interpretive_s, 6),
             "speedup": (round(interpretive_s / compiled_s, 2)
                         if compiled_s else None),
+            "columnar_speedup": (round(compiled_s / columnar_s, 2)
+                                 if columnar_s else None),
+            "columnar_peak_kb": peak_kb(lambda: run(columnar)),
+            "compiled_peak_kb": peak_kb(lambda: run(compiled)),
         }
-        print(f"  {name:42s} compiled {compiled_s*1000:8.2f}ms  "
+        print(f"  {name:42s} columnar {columnar_s*1000:8.2f}ms  "
+              f"compiled {compiled_s*1000:8.2f}ms  "
               f"interpretive {interpretive_s*1000:8.2f}ms  "
               f"speedup {entry['speedup']}x")
+        entries.append(entry)
+    return entries
+
+
+def scale_suite(repeats: int, smoke: bool):
+    """The large-EDB tier: columnar batch kernels vs the row-at-a-time
+    compiled reference on ``tag:scale`` scenarios (10^5-fact EDBs).
+
+    Times the bare ``Engine.evaluate`` fixpoint (ground truth --
+    including the row checksum over 10^5 rows -- is asserted once per
+    engine outside the timing loops) and records tracemalloc peaks so
+    the columnar footprint win lands in the trajectory too.
+    """
+    print("scale tier (columnar data plane):")
+    columnar = Engine(EngineConfig(backend="columnar"))
+    compiled = Engine(EngineConfig(backend="rows"))
+    entries = []
+    cases = SCALE_CASES_SMOKE if smoke else SCALE_CASES
+    runner = kind_runner("evaluation")
+    for name in cases:
+        scenario = get_scenario(name)
+        payload = scenario.build()
+        expected = dict(scenario.expected)
+        for engine in (columnar, compiled):
+            verdict, _ = runner(payload, engine, None)
+            assert verdict == expected, (name, verdict, expected)
+        program, database = payload["program"], payload["database"]
+
+        columnar_s = median_seconds(
+            lambda: columnar.evaluate(program, database), repeats)
+        compiled_s = median_seconds(
+            lambda: compiled.evaluate(program, database), repeats)
+        entry = {
+            "name": name,
+            "repeats": repeats,
+            "edb_facts": len(database),
+            "columnar_s": round(columnar_s, 6),
+            "compiled_s": round(compiled_s, 6),
+            "speedup": (round(compiled_s / columnar_s, 2)
+                        if columnar_s else None),
+            "columnar_peak_kb": peak_kb(
+                lambda: columnar.evaluate(program, database)),
+            "compiled_peak_kb": peak_kb(
+                lambda: compiled.evaluate(program, database)),
+        }
+        print(f"  {name:42s} columnar {columnar_s*1000:8.2f}ms  "
+              f"compiled {compiled_s*1000:8.2f}ms  "
+              f"speedup {entry['speedup']}x  "
+              f"peak {entry['columnar_peak_kb']:.0f}/"
+              f"{entry['compiled_peak_kb']:.0f}KiB")
         entries.append(entry)
     return entries
 
@@ -260,16 +349,20 @@ def main() -> int:
     parser.add_argument("--repeats", type=int, default=5,
                         help="iterations per timing (median is recorded)")
     parser.add_argument("--smoke", action="store_true",
-                        help="tiny sizes, single repeat, no JSON write "
+                        help="tiny sizes, median of 3, no JSON write "
                              "unless --out is given")
     parser.add_argument("--out", type=Path, default=None,
                         help="directory for the BENCH_*.json trajectories "
                              "(default: repo root; with --smoke: no write)")
-    parser.add_argument("--suite", choices=["all", "automata", "plans"],
+    parser.add_argument("--suite",
+                        choices=["all", "automata", "plans", "scale"],
                         default="all")
     args = parser.parse_args()
 
-    repeats = 1 if args.smoke else args.repeats
+    # Smoke still takes a median (of 3): the CI regression guard
+    # compares smoke records, and single-iteration ms-scale timings
+    # jitter well past its 2x threshold.
+    repeats = 3 if args.smoke else args.repeats
     meta = run_metadata(REPO_ROOT)
     print(f"run_bench: commit {meta['commit']}, python {meta['python']}, "
           f"repeats {repeats}{' (smoke)' if args.smoke else ''}; "
@@ -282,6 +375,8 @@ def main() -> int:
         automata_entries += automata_suite(repeats, args.smoke)
     if args.suite in ("all", "plans"):
         plans_entries += plans_suite(repeats, args.smoke)
+    if args.suite in ("all", "scale"):
+        plans_entries += scale_suite(repeats, args.smoke)
 
     out_dir = args.out
     if out_dir is None:

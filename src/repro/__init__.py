@@ -62,14 +62,17 @@ from .core import (
     ucq_contained_in_datalog,
 )
 
-# Wire the default engine's plan cache into the kernel's shared-cache
-# registry here: engine.py cannot import the registry at module level
-# (kernel <-> datalog import cycle), and the package root always runs
-# before any submodule.
+# Wire the default engine's plan cache and the columnar EDB-image
+# cache into the kernel's shared-cache registry here: engine.py and
+# columns.py cannot import the registry at module level (kernel <->
+# datalog import cycle), and the package root always runs before any
+# submodule.
 from .automata.kernel import register_shared_cache as _register_shared_cache
+from .datalog.columns import clear_edb_images as _clear_edb_images
 from .datalog.engine import clear_default_plan_cache as _clear_default_plan_cache
 
 _register_shared_cache(_clear_default_plan_cache, "datalog.default_plan_cache")
+_register_shared_cache(_clear_edb_images, "datalog.columnar_edb_images")
 
 __version__ = "1.0.0"
 

@@ -31,8 +31,10 @@ def materialize_fixpoint(program: Program, database: Database,
                          include_edb: bool = True) -> Database:
     """Materialize ``Pi(D)`` as a database via the evaluation engine.
 
-    Runs the (compiled, by default) bottom-up fixpoint and returns the
-    derived IDB facts -- merged onto a copy of *database* unless
+    Runs the bottom-up fixpoint -- through the default engine's
+    columnar data plane (:mod:`repro.datalog.columns`) unless an
+    *engine* override says otherwise -- and returns the derived IDB
+    facts, merged onto a copy of *database* unless
     ``include_edb=False``.  This is the engine-backed counterpart of
     the automata materializations below: the same *materialize* verb,
     applied to the model instead of the proof-tree language.

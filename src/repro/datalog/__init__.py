@@ -20,6 +20,13 @@ from .engine import (
     seminaive_evaluate,
 )
 from .plan import JoinPlan, PlanCache, PlanStore, compile_program
+from .columns import (
+    ColumnStore,
+    clear_edb_images,
+    columnar_naive,
+    columnar_seminaive,
+    edb_image,
+)
 from .errors import (
     ArityError,
     EvaluationError,
@@ -55,6 +62,7 @@ from .uniform import (
 __all__ = [
     "ArityError",
     "Atom",
+    "ColumnStore",
     "Constant",
     "Database",
     "Engine",
@@ -76,11 +84,15 @@ __all__ = [
     "ValidationError",
     "Variable",
     "clear_default_plan_cache",
+    "clear_edb_images",
+    "columnar_naive",
+    "columnar_seminaive",
     "compile_program",
     "count_expansions",
     "default_engine",
     "dependence_graph",
     "derived_fact_count",
+    "edb_image",
     "evaluate",
     "expansion_union",
     "expansions",

@@ -26,6 +26,13 @@ class Database:
     def __init__(self):
         self._relations: Dict[str, Set[Tuple[Constant, ...]]] = {}
         self._arity: Dict[str, int] = {}
+        #: Cached frozen views per predicate (:meth:`relation` is called
+        #: inside fixpoint loops; rebuilding a frozenset per call was
+        #: O(n) per lookup).  Invalidated per-predicate on :meth:`add`.
+        self._frozen: Dict[str, FrozenSet[Tuple[Constant, ...]]] = {}
+        #: Mutation counter: bumped by every insert, so derived caches
+        #: (the columnar EDB image) can detect staleness cheaply.
+        self._version = 0
 
     @classmethod
     def from_facts(cls, facts: Iterable[Fact]) -> "Database":
@@ -52,6 +59,8 @@ class Database:
                 f"predicate {predicate!r} used with arities {known} and {len(converted)}"
             )
         self._relations.setdefault(predicate, set()).add(converted)
+        self._frozen.pop(predicate, None)
+        self._version += 1
 
     def add_atom(self, atom: Atom) -> None:
         """Insert a ground atom as a fact."""
@@ -60,8 +69,25 @@ class Database:
         self.add(atom.predicate, atom.args)
 
     def relation(self, predicate: str) -> FrozenSet[Tuple[Constant, ...]]:
-        """The set of tuples for *predicate* (empty if absent)."""
-        return frozenset(self._relations.get(predicate, ()))
+        """The set of tuples for *predicate* (empty if absent).
+
+        The frozen view is cached until the predicate is next mutated,
+        so repeated lookups inside fixpoint loops are O(1)."""
+        view = self._frozen.get(predicate)
+        if view is None:
+            view = frozenset(self._relations.get(predicate, ()))
+            self._frozen[predicate] = view
+        return view
+
+    def relations(self) -> Iterator[Tuple[str, Set[Tuple[Constant, ...]]]]:
+        """Iterate over ``(predicate, row set)`` pairs (bulk access for
+        columnar imaging; the sets must not be mutated by callers)."""
+        return iter(self._relations.items())
+
+    def version(self) -> int:
+        """The mutation counter (bumped on every insert); lets derived
+        caches validate themselves without hashing the fact set."""
+        return self._version
 
     def predicates(self) -> FrozenSet[str]:
         """All predicates that have at least one declared arity."""
@@ -96,26 +122,41 @@ class Database:
         return converted in self._relations.get(predicate, set())
 
     def copy(self) -> "Database":
-        """An independent copy."""
+        """An independent copy (bulk set copies; rows are immutable
+        tuples, so no per-row re-wrapping)."""
         db = Database()
         db._arity = dict(self._arity)
         db._relations = {p: set(rows) for p, rows in self._relations.items()}
+        db._frozen = dict(self._frozen)  # frozen views are immutable
         return db
 
     def merge(self, other: "Database") -> "Database":
-        """A new database holding the union of the two fact sets."""
+        """A new database holding the union of the two fact sets (bulk
+        set unions per predicate; arity mismatches still raise)."""
         db = self.copy()
-        for predicate, row in other.facts():
-            db.add(predicate, row)
+        for predicate, rows in other._relations.items():
+            if not rows:
+                continue
+            arity = other._arity[predicate]
+            known = db._arity.setdefault(predicate, arity)
+            if known != arity:
+                raise ArityError(
+                    f"predicate {predicate!r} used with arities {known} and {arity}"
+                )
+            db._relations.setdefault(predicate, set()).update(rows)
+            db._frozen.pop(predicate, None)
+            db._version += 1
         return db
 
     def restrict(self, predicates: Iterable[str]) -> "Database":
-        """A new database keeping only the given predicates."""
+        """A new database keeping only the given predicates (bulk set
+        copies, skipping per-row re-wrapping)."""
         keep = set(predicates)
         db = Database()
-        for predicate, row in self.facts():
-            if predicate in keep:
-                db.add(predicate, row)
+        for predicate, rows in self._relations.items():
+            if predicate in keep and rows:
+                db._arity[predicate] = self._arity[predicate]
+                db._relations[predicate] = set(rows)
         return db
 
     def __len__(self):

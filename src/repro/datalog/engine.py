@@ -5,9 +5,13 @@ Two execution paths compute the same fixpoints:
 * the *interpretive* path (:func:`naive_evaluate`,
   :func:`seminaive_evaluate`) re-derives a greedy join order on every
   rule application -- kept as the reference implementation;
-* the *compiled* path (:mod:`repro.datalog.plan`) compiles each rule
-  once into a :class:`~repro.datalog.plan.JoinPlan`, interns constants
-  to small ints, and maintains hash indexes incrementally.
+* the *compiled* path compiles each rule once into a
+  :class:`~repro.datalog.plan.JoinPlan`, interns constants to small
+  ints, and maintains hash indexes incrementally.  Two data planes
+  execute those plans: the columnar batch backend
+  (:mod:`repro.datalog.columns`, the default) and the row-at-a-time
+  :class:`~repro.datalog.plan.PlanStore` reference
+  (``EngineConfig(backend="rows")``).
 
 Both are wrapped by :class:`Engine`, configured by
 :class:`EngineConfig`; the module-level :func:`evaluate` and
@@ -31,6 +35,7 @@ from itertools import product
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from .atoms import Atom
+from .columns import columnar_naive, columnar_seminaive
 from .database import Database
 from .errors import ValidationError
 from .plan import PlanCache, compiled_naive, compiled_seminaive
@@ -285,6 +290,7 @@ def seminaive_evaluate(program: Program, database: Database,
 
 
 _STRATEGIES = ("auto", "naive", "seminaive")
+_BACKENDS = ("columnar", "rows")
 
 
 @dataclass(frozen=True)
@@ -296,17 +302,25 @@ class EngineConfig:
         ``max_stages`` is given -- stage-bounded semantics is defined by
         naive rounds), ``"naive"``, or ``"seminaive"``.
     ``compiled``
-        Use the compiled join-plan path (:mod:`repro.datalog.plan`)
-        instead of the interpretive one.
+        Use the compiled join-plan path instead of the interpretive one.
+    ``backend``
+        Data plane of the compiled path: ``"columnar"`` (the default --
+        :mod:`repro.datalog.columns`: array-of-ids relation columns,
+        batch join kernels, packed-key dedup, cached EDB images) or
+        ``"rows"`` (:mod:`repro.datalog.plan`'s row-at-a-time
+        :class:`~repro.datalog.plan.PlanStore`, kept as the reference
+        path).  Ignored when ``compiled=False``.
     ``interning`` / ``indexing``
-        Compiled-path toggles: intern constants to small ints; maintain
-        per-(predicate, column) hash indexes.  Ignored when
-        ``compiled=False`` (the interpretive path keeps its own lazy
-        indexes).
+        Toggles of the ``"rows"`` backend: intern constants to small
+        ints; maintain per-(predicate, column) hash indexes.  The
+        columnar backend is inherently interned and indexed, and the
+        interpretive path keeps its own lazy indexes -- both ignore
+        these.
     """
 
     strategy: str = "auto"
     compiled: bool = True
+    backend: str = "columnar"
     interning: bool = True
     indexing: bool = True
 
@@ -314,6 +328,10 @@ class EngineConfig:
         if self.strategy not in _STRATEGIES:
             raise ValidationError(
                 f"unknown strategy {self.strategy!r}; expected one of {_STRATEGIES}"
+            )
+        if self.backend not in _BACKENDS:
+            raise ValidationError(
+                f"unknown backend {self.backend!r}; expected one of {_BACKENDS}"
             )
 
 
@@ -338,12 +356,17 @@ class Engine:
         if not cfg.compiled:
             runner = naive_evaluate if use_naive else seminaive_evaluate
             return runner(program, database, max_stages=max_stages)
-        runner = compiled_naive if use_naive else compiled_seminaive
-        idb, stages, fixpoint = runner(
-            program, database, max_stages,
-            interning=cfg.interning, indexing=cfg.indexing,
-            cache=self._plans,
-        )
+        if cfg.backend == "columnar":
+            runner = columnar_naive if use_naive else columnar_seminaive
+            idb, stages, fixpoint = runner(program, database, max_stages,
+                                           cache=self._plans)
+        else:
+            runner = compiled_naive if use_naive else compiled_seminaive
+            idb, stages, fixpoint = runner(
+                program, database, max_stages,
+                interning=cfg.interning, indexing=cfg.indexing,
+                cache=self._plans,
+            )
         return EvaluationResult(idb=idb, stages=stages, fixpoint=fixpoint)
 
     def query(self, program: Program, database: Database, goal: str,

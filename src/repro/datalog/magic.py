@@ -19,7 +19,12 @@ positive Datalog with full sideways information passing in body order:
 
 ``magic_rewrite`` returns the rewritten program plus the seed fact
 predicate; ``magic_query`` runs the whole pipeline and must agree with
-direct evaluation (tested), typically touching far fewer facts.
+direct evaluation (tested), typically touching far fewer facts.  Both
+evaluate through the default engine's columnar data plane
+(:mod:`repro.datalog.columns`) -- magic seeds land in IDB relations,
+which the column store keeps private per evaluation -- and accept an
+``engine=`` override for A/B runs (``tests/test_columnar.py`` checks
+all three backends agree on the rewritten programs).
 """
 
 from __future__ import annotations

@@ -9,10 +9,11 @@ against constructed ground truth, and appends trajectory records to
 Examples::
 
     python -m repro.runner --list
-    python -m repro.runner --scenarios all --workers 4
+    python -m repro.runner --scenarios tag:bench --workers 4
     python -m repro.runner --scenarios kind:boundedness --kernels bitset
     python -m repro.runner --scenarios tag:bench --cache cold --no-write
-    python -m repro.runner --scenarios all --workers 4 --verify-serial
+    python -m repro.runner --scenarios tag:bench --workers 4 --verify-serial
+    python -m repro.runner --scenarios tag:scale --engines columnar,compiled
 
 Exit status is nonzero when any verdict misses its ground truth or
 (under ``--verify-serial``) the parallel run disagrees with the serial
@@ -60,10 +61,11 @@ def _parse_args(argv=None):
     parser.add_argument("--workers", type=int, default=1,
                         help="process-pool width; 1 = serial (default)")
     parser.add_argument("--engines", default="both",
-                        help="comma list from {%s}, or 'both' "
-                             "(default: both)" % ", ".join(sorted(ENGINE_CONFIGS)))
+                        help="comma list from {%s}, or 'both'/'all' for "
+                             "every config (default: all)"
+                             % ", ".join(sorted(ENGINE_CONFIGS)))
     parser.add_argument("--kernels", default="both",
-                        help="comma list from {%s}, or 'both' "
+                        help="comma list from {%s}, or 'both'/'all' "
                              "(default: both)" % ", ".join(sorted(KERNEL_CONFIGS)))
     parser.add_argument("--cache", choices=("warm", "cold"), default="warm",
                         help="cache lifecycle: warm (pre-built shared "
@@ -82,7 +84,7 @@ def _parse_args(argv=None):
 
 
 def _labels(spec: str, table: Dict) -> List[str]:
-    return sorted(table) if spec == "both" else spec.split(",")
+    return sorted(table) if spec in ("both", "all") else spec.split(",")
 
 
 def main(argv=None) -> int:

@@ -22,20 +22,26 @@ from .generators import (
     grid_edges,
     guarded_chain,
     random_graph_edges,
+    random_program,
+    reachable_from,
     reachable_pair_count,
     reachable_pairs,
     same_depth_pair_count,
     same_depth_pairs,
+    single_source_reach,
     sirup,
     sirup_covering_union,
     star_edges,
     tree_edges,
     tree_updown_database,
+    two_hop_pairs,
+    two_hop_program,
     unbounded_program,
 )
 from .scenarios import (
     DECISION_KINDS,
     KINDS,
+    LazyExpected,
     REGISTRY,
     Scenario,
     get_scenario,
@@ -49,6 +55,7 @@ from .scenarios import (
 __all__ = [
     "DECISION_KINDS",
     "KINDS",
+    "LazyExpected",
     "REGISTRY",
     "Scenario",
     "alternating_recursion",
@@ -63,6 +70,8 @@ __all__ = [
     "guarded_chain",
     "kind_runner",
     "random_graph_edges",
+    "random_program",
+    "reachable_from",
     "reachable_pair_count",
     "reachable_pairs",
     "register",
@@ -71,10 +80,13 @@ __all__ = [
     "same_depth_pair_count",
     "same_depth_pairs",
     "scenario_names",
+    "single_source_reach",
     "sirup",
     "sirup_covering_union",
     "star_edges",
     "tree_edges",
     "tree_updown_database",
+    "two_hop_pairs",
+    "two_hop_program",
     "unbounded_program",
 ]

@@ -50,9 +50,12 @@ EDB families
 :func:`random_graph_edges`, and :func:`star_edges` produce edge
 lists; :func:`edges_database` and :func:`tree_updown_database` turn
 them into :class:`~repro.datalog.database.Database` values; the
-structural oracles (:func:`reachable_pairs`,
-:func:`same_depth_pairs` and their ``*_count`` forms) supply
-evaluation ground truth without running the engine.
+structural oracles (:func:`reachable_pairs`, :func:`reachable_from`,
+:func:`two_hop_pairs`, :func:`same_depth_pairs` and the ``*_count``
+forms) supply evaluation ground truth without running the engine.
+:func:`two_hop_program`, :func:`single_source_reach`, and
+:func:`random_program` are the programs of the ``tag:scale`` tier and
+the backend differential fuzz suite (``tests/test_columnar.py``).
 
 Doctest smoke (same seed, same program)::
 
@@ -216,6 +219,55 @@ def unbounded_program(seed: int = 0) -> Program:
     )
 
 
+def two_hop_program() -> Program:
+    """``p(X, Y) :- e(X, Z), e(Z, Y).`` -- the nonrecursive two-hop
+    join, the scale tier's pure-join workload (output is linear on
+    chain EDBs)."""
+    return parse_program("p(X, Y) :- e(X, Z), e(Z, Y).")
+
+
+def single_source_reach() -> Program:
+    """Single-source reachability: ``r`` holds the nodes reachable from
+    the ``src`` seed(s).  The scale tier's recursive workload -- the
+    answer stays linear in the EDB while the semi-naive frontier sweeps
+    the whole graph."""
+    return parse_program(
+        """
+        r(X) :- src(X).
+        r(Y) :- r(X), e(X, Y).
+        """
+    )
+
+
+def random_program(seed: int = 0, max_rules: int = 4) -> Program:
+    """A small random positive program for differential fuzzing.
+
+    Draws 2..*max_rules* rules over tiny predicate/variable pools:
+    linear-recursive, nonrecursive, constant-carrying, repeated-variable
+    and (occasionally) unsafe rules all occur, so the three evaluation
+    backends are exercised across the full op vocabulary of the plan
+    compiler.  Deterministic in *seed*; always terminates (Datalog).
+    """
+    rng = random.Random(seed)
+    edb = [rng.choice(_EDB_POOL) for _ in range(2)]
+    variables = ["X", "Y", "Z", "W"]
+    rules = [f"p(X, Y) :- {edb[0]}(X, Y)."]
+    for _ in range(rng.randint(1, max_rules - 1)):
+        shape = rng.randrange(5)
+        if shape == 0:  # linear recursion
+            rules.append(f"p(X, Y) :- {rng.choice(edb)}(X, Z), p(Z, Y).")
+        elif shape == 1:  # join with repeated variable
+            a, b = rng.sample(variables, 2)
+            rules.append(f"q({a}) :- {edb[0]}({a}, {b}), {edb[1]}({b}, {b}).")
+        elif shape == 2:  # constant in the body
+            rules.append(f"p(X, Y) :- {edb[1]}(X, Y), {edb[0]}(v0, X).")
+        elif shape == 3:  # unsafe head variable (active-domain semantics)
+            rules.append(f"s(X, Y) :- {rng.choice(edb)}(X, X).")
+        else:  # nonlinear recursion
+            rules.append("p(X, Y) :- p(X, Z), p(Z, Y).")
+    return parse_program("\n".join(rules))
+
+
 def bounded_unbounded_pairs(count: int, seed: int = 0) -> List[Tuple[Program, str, bool]]:
     """A labeled stream of ``(program, goal, is_bounded)`` triples.
 
@@ -359,6 +411,40 @@ def reachable_pairs(edges: Sequence[Edge]) -> Set[Edge]:
 def reachable_pair_count(edges: Sequence[Edge]) -> int:
     """``len(reachable_pairs(edges))`` (convenience)."""
     return len(reachable_pairs(edges))
+
+
+def reachable_from(edges: Sequence[Edge], source: str) -> Set[str]:
+    """The nodes reachable from *source* (including *source* itself) by
+    a single BFS -- linear in the edge list, so it scales to the
+    10^5--10^6-fact EDBs of the ``tag:scale`` tier, unlike the
+    all-pairs :func:`reachable_pairs` walk.  Expected rows of
+    :func:`single_source_reach` when ``src`` holds exactly *source*."""
+    adjacency: Dict[str, List[str]] = {}
+    for a, b in edges:
+        adjacency.setdefault(a, []).append(b)
+    seen: Set[str] = {source}
+    queue = deque((source,))
+    while queue:
+        node = queue.popleft()
+        for target in adjacency.get(node, ()):
+            if target not in seen:
+                seen.add(target)
+                queue.append(target)
+    return seen
+
+
+def two_hop_pairs(edges: Sequence[Edge]) -> Set[Edge]:
+    """``{(a, c) : a -> b -> c}`` -- expected rows of
+    :func:`two_hop_program`; linear on chains (each node has one
+    successor)."""
+    adjacency: Dict[str, List[str]] = {}
+    for a, b in edges:
+        adjacency.setdefault(a, []).append(b)
+    return {
+        (a, c)
+        for a, b in edges
+        for c in adjacency.get(b, ())
+    }
 
 
 def same_depth_pairs(depth: int, branching: int) -> Set[Edge]:

@@ -1,0 +1,303 @@
+"""Differential fuzz suite for the columnar data plane.
+
+The contract of :mod:`repro.datalog.columns` is *bit-identical
+semantics*: for every program and database, the columnar backend must
+return exactly the :class:`~repro.datalog.engine.EvaluationResult` --
+``idb`` rows, ``stages``, ``fixpoint`` -- of the row-at-a-time compiled
+path and the interpretive reference, across naive/semi-naive/stage-
+bounded execution.  Randomly generated programs (seed-deterministic,
+from :mod:`repro.workloads.generators`) are crossed with chain / grid /
+random EDB families and all three backends are compared on every cell.
+
+Also covers the storage substrate itself: packed-key round-trips, the
+unique-key index specialization, the cached EDB image lifecycle (and
+its registration with the shared-cache registry), and the Database
+fast paths (cached frozen views, bulk merge/restrict/copy).
+"""
+
+import pytest
+
+from repro.core.instances import clear_shared_caches
+from repro.datalog.columns import (
+    ColumnStore,
+    _EDB_IMAGES,
+    _pack,
+    _unpack,
+    clear_edb_images,
+    edb_image,
+)
+from repro.datalog.database import Database
+from repro.datalog.engine import Engine, EngineConfig
+from repro.datalog.errors import ArityError, ValidationError
+from repro.datalog.magic import derived_fact_count, magic_query
+from repro.datalog.parser import parse_program
+from repro.programs.library import plain_transitive_closure
+from repro.workloads import generators as gen
+from repro.workloads.scenarios import LazyExpected, get_scenario, run_scenario
+
+COLUMNAR = Engine(EngineConfig(backend="columnar"))
+ROWS = Engine(EngineConfig(backend="rows"))
+INTERPRETIVE = Engine(EngineConfig(compiled=False))
+ENGINES = [COLUMNAR, ROWS, INTERPRETIVE]
+
+
+def assert_identical(program, database, max_stages=None):
+    """All three backends agree on idb rows, stages, and fixpoint."""
+    results = [engine.evaluate(program, database, max_stages=max_stages)
+               for engine in ENGINES]
+    first = results[0]
+    for other in results[1:]:
+        assert first.idb == other.idb
+        assert first.stages == other.stages
+        assert first.fixpoint == other.fixpoint
+    return first
+
+
+def edb_for(program, edges):
+    """A database feeding *edges* to every (binary) EDB predicate of
+    *program* -- random programs draw predicate names from a pool, so
+    the fixture adapts to whatever the draw produced."""
+    predicates = tuple(sorted(program.edb_predicates)) or ("e",)
+    return gen.edges_database(edges, predicates)
+
+
+EDB_FAMILIES = [
+    ("chain", gen.chain_edges(12)),
+    ("grid", gen.grid_edges(4, 4)),
+    ("random", gen.random_graph_edges(15, 40, seed=3)),
+]
+
+
+# ----------------------------------------------------------------------
+# The fuzz matrix: random programs x EDB families x backends.
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(12))
+@pytest.mark.parametrize("family", [name for name, _ in EDB_FAMILIES])
+def test_random_program_differential(seed, family):
+    edges = dict(EDB_FAMILIES)[family]
+    program = gen.random_program(seed)
+    database = edb_for(program, edges)
+    result = assert_identical(program, database)
+    # Stage-bounded (naive rounds) agreement, including mid-fixpoint.
+    assert_identical(program, database, max_stages=1)
+    assert_identical(program, database, max_stages=2)
+    assert result.fixpoint
+
+
+@pytest.mark.parametrize("strategy", ["naive", "seminaive"])
+def test_forced_strategy_differential(strategy):
+    program = gen.random_program(5)
+    database = edb_for(program, gen.chain_edges(8))
+    results = [
+        Engine(EngineConfig(strategy=strategy, compiled=True,
+                            backend=backend)).evaluate(program, database)
+        for backend in ("columnar", "rows")
+    ]
+    interp = Engine(EngineConfig(strategy=strategy,
+                                 compiled=False)).evaluate(program, database)
+    for result in results:
+        assert result.idb == interp.idb
+        assert result.stages == interp.stages
+        assert result.fixpoint == interp.fixpoint
+
+
+def test_random_programs_deterministic():
+    from repro.datalog.printer import program_to_source
+
+    for seed in range(8):
+        assert program_to_source(gen.random_program(seed)) == \
+            program_to_source(gen.random_program(seed))
+
+
+# ----------------------------------------------------------------------
+# Structured workloads: scale-shape programs, unsafe rules, constants,
+# magic rewritings.
+# ----------------------------------------------------------------------
+
+def test_two_hop_matches_oracle():
+    edges = gen.chain_edges(60)
+    result = assert_identical(gen.two_hop_program(), edb_for(
+        gen.two_hop_program(), edges))
+    expected = {tuple(map(str, pair)) for pair in gen.two_hop_pairs(edges)}
+    got = {tuple(c.value for c in row) for row in result.facts("p")}
+    assert got == expected
+
+
+def test_reach_matches_oracle():
+    edges = gen.random_graph_edges(30, 70, seed=9)
+    database = gen.edges_database(edges, ("e",))
+    database.add("src", ("u0",))
+    result = assert_identical(gen.single_source_reach(), database)
+    got = {row[0].value for row in result.facts("r")}
+    assert got == gen.reachable_from(edges, "u0")
+
+
+def test_unsafe_rule_and_constants_differential():
+    program = parse_program(
+        """
+        p(X, Y) :- e(X, Y).
+        p(X, Y) :- q(X).
+        q(X) :- e(X, v1).
+        r(X, X) :- e(v0, X).
+        """
+    )
+    database = gen.edges_database(gen.chain_edges(5), ("e",))
+    assert_identical(program, database)
+    assert_identical(program, database, max_stages=1)
+
+
+def test_empty_database_and_missing_predicates():
+    program = gen.single_source_reach()
+    assert_identical(program, Database())
+    lonely = Database.from_facts([("src", ("a",))])
+    result = assert_identical(program, lonely)
+    assert result.facts("r") == frozenset({(next(iter(
+        lonely.relation("src")))[0],)})
+
+
+def test_magic_rewriting_differential():
+    program = plain_transitive_closure()
+    database = gen.edges_database(gen.star_edges(4, 6), ("e",))
+    answers = [magic_query(program, database, "p", "bf", ("r0_0",),
+                           engine=engine) for engine in ENGINES]
+    assert answers[0] == answers[1] == answers[2]
+    counts = [derived_fact_count(program, database, "p", "bf", ("r0_0",),
+                                 engine=engine) for engine in ENGINES]
+    assert counts[0] == counts[1] == counts[2]
+
+
+@pytest.mark.parametrize("engine", [COLUMNAR, ROWS],
+                         ids=["columnar", "rows"])
+def test_scale_smoke_scenario_ground_truth(engine):
+    result = run_scenario(get_scenario("scale_chain_2hop_5k"), engine=engine)
+    assert result["ok"], result["verdict"]
+
+
+# ----------------------------------------------------------------------
+# Storage substrate.
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("arity", [0, 1, 2, 3, 4, 5])
+def test_packed_keys_round_trip(arity):
+    base = 11
+    rows = [tuple((i * (j + 3)) % base for j in range(arity))
+            for i in range(7)]
+    cols = [list(col) for col in zip(*rows)] if arity else []
+    keys = _pack(cols, len(rows), base)
+    assert len(keys) == len(rows)
+    back = _unpack(keys, arity, base)
+    assert [tuple(col[i] for col in back) for i in range(len(rows))] == rows
+
+
+def test_unique_index_specialization():
+    db = gen.edges_database(gen.chain_edges(5), ("e",))  # unique source col
+    image = edb_image(db)
+    index, unique = image.index("e", 0)
+    assert unique and all(isinstance(v, int) for v in index.values())
+    fan = Database.from_facts([("f", ("a", "b")), ("f", ("a", "c")),
+                               ("f", ("b", "c"))])
+    index, unique = edb_image(fan).index("f", 0)
+    assert not unique and all(isinstance(v, list) for v in index.values())
+
+
+def test_edb_image_cache_and_invalidation():
+    clear_edb_images()
+    db = gen.edges_database(gen.chain_edges(4), ("e",))
+    first = edb_image(db)
+    assert edb_image(db) is first  # cached by identity + version
+    db.add("e", ("x", "y"))
+    second = edb_image(db)
+    assert second is not first  # version moved -> rebuilt
+    assert second.counts["e"] == first.counts["e"] + 1
+
+
+def test_image_cache_registered_with_shared_caches():
+    db = gen.edges_database(gen.chain_edges(3), ("e",))
+    edb_image(db)
+    assert _EDB_IMAGES
+    clear_shared_caches()  # the registered cold-start hook
+    assert not _EDB_IMAGES
+
+
+def test_column_store_seed_rows_are_private():
+    # IDB relations with extensional seed rows (magic-style) must not
+    # leak derived rows back into the shared image.
+    db = Database.from_facts([("p", ("a", "b")), ("e", ("b", "c"))])
+    program = parse_program("p(X, Y) :- e(X, Y).\np(X, Y) :- p(X, Z), e(Z, Y).")
+    image_rows = edb_image(db).counts["p"]
+    result = assert_identical(program, db)
+    assert len(result.facts("p")) > image_rows
+    assert edb_image(db).counts["p"] == image_rows
+
+
+def test_column_store_duck_types_plan_resolution():
+    program = parse_program("p(X) :- e(v0, X).")
+    db = gen.edges_database(gen.chain_edges(3), ("e",))
+    store = ColumnStore(db, idb=program.idb_predicates)
+    from repro.datalog.plan import PlanCache
+
+    rplan = PlanCache().plan(program.rules[0], None).resolve(store)
+    store.seal()
+    assert store.base > 0
+    assert rplan.nregs >= 1
+
+
+def test_backend_knob_validated():
+    with pytest.raises(ValidationError, match="unknown backend"):
+        EngineConfig(backend="gpu")
+
+
+# ----------------------------------------------------------------------
+# Database fast paths (satellite: cached views, bulk ops).
+# ----------------------------------------------------------------------
+
+def test_relation_view_cached_and_invalidated():
+    db = gen.edges_database(gen.chain_edges(3), ("e",))
+    view = db.relation("e")
+    assert db.relation("e") is view  # cached frozen view
+    db.add("e", ("x", "y"))
+    fresh = db.relation("e")
+    assert fresh is not view and len(fresh) == len(view) + 1
+    assert db.version() > 0
+
+
+def test_copy_merge_restrict_bulk_semantics():
+    left = gen.edges_database(gen.chain_edges(4), ("e",))
+    right = gen.edges_database([("x", "y")], ("e", "f"))
+    merged = left.merge(right)
+    assert merged.contains("e", ("x", "y"))
+    assert merged.contains("e", ("v0", "v1"))
+    assert merged.relation("f") == right.relation("f")
+    assert not left.contains("e", ("x", "y"))  # merge did not mutate
+
+    restricted = merged.restrict(["f"])
+    assert restricted.predicates() == frozenset({"f"})
+    assert restricted.relation("f") == right.relation("f")
+
+    copied = left.copy()
+    copied.add("e", ("q", "r"))
+    assert not left.contains("e", ("q", "r"))
+    assert left.relation("e") == Database.from_facts(
+        (("e", row) for row in left.relation("e"))).relation("e")
+
+
+def test_merge_arity_mismatch_still_raises():
+    left = Database.from_facts([("e", ("a", "b"))])
+    right = Database.from_facts([("e", ("a",))])
+    with pytest.raises(ArityError):
+        left.merge(right)
+
+
+def test_lazy_expected_defers_the_thunk():
+    calls = []
+
+    def thunk():
+        calls.append(1)
+        return {"count": 3}
+
+    lazy = LazyExpected(thunk)
+    assert not calls  # registration is free
+    assert dict(lazy) == {"count": 3}
+    assert lazy["count"] == 3
+    assert len(calls) == 1  # computed once, then cached

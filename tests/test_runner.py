@@ -37,7 +37,10 @@ def test_build_jobs_matrix_shape():
                 if REGISTRY[n].kind in DECISION_KINDS]
     other = [n for n in scenario_names()
              if REGISTRY[n].kind not in DECISION_KINDS]
-    assert len(jobs) == 2 * len(decision) + 2 * len(other)
+    # tag:scale evaluation scenarios drop the interpretive engine (one
+    # cell instead of two); everything else gets the full cross.
+    scale = [n for n in other if "scale" in REGISTRY[n].tags]
+    assert len(jobs) == 2 * len(decision) + 2 * len(other) - len(scale)
     # Deterministic: building twice gives the same ordered list.
     assert jobs == build_jobs(scenario_names(),
                               engines=("compiled", "interpretive"),
@@ -52,6 +55,15 @@ def test_build_jobs_validates_labels():
         build_jobs(SMALL, kernels=("quantum",))
     with pytest.raises(ValueError, match="unknown cache mode"):
         build_jobs(SMALL, cache="lukewarm")
+
+
+def test_scale_jobs_skip_interpretive_engine():
+    jobs = build_jobs(["scale_chain_2hop_5k"],
+                      engines=("compiled", "interpretive"))
+    assert [j.engine for j in jobs] == ["compiled"]
+    # An explicit interpretive-only request is honored.
+    jobs = build_jobs(["scale_chain_2hop_5k"], engines=("interpretive",))
+    assert [j.engine for j in jobs] == ["interpretive"]
 
 
 def test_select_scenarios_specs():
@@ -120,7 +132,10 @@ def test_parallel_matches_serial():
 def test_parallel_speedup_on_multicore():
     import time
 
-    jobs = build_jobs(scenario_names(), engines=("compiled", "interpretive"),
+    # tag:scale scenarios are 10^5-fact EDBs -- minutes each on the
+    # interpretive engine -- so the wall-clock matrix excludes them.
+    names = [n for n in scenario_names() if "scale" not in REGISTRY[n].tags]
+    jobs = build_jobs(names, engines=("compiled", "interpretive"),
                       kernels=("bitset", "frozenset"))
     start = time.perf_counter()
     serial = run_batch(jobs, workers=1)
