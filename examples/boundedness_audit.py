@@ -10,7 +10,7 @@ are left recursive.
 Run:  python examples/boundedness_audit.py
 """
 
-from repro.core import decide_boundedness
+from repro import Session
 from repro.datalog.parser import parse_program
 from repro.programs import (
     buys_bounded,
@@ -39,14 +39,18 @@ VIEWS = {
 
 
 def main() -> None:
+    # One session audits the whole library: its caches amortize the
+    # shared automata across views, and every verdict carries the same
+    # config fingerprint.
+    session = Session(name="audit")
     print(f"{'view':40} {'verdict':22} rewriting")
     print("-" * 100)
     for name, (program, goal) in VIEWS.items():
-        result = decide_boundedness(program, goal, max_depth=3)
-        if result.bounded:
-            verdict = f"bounded (depth {result.depth})"
+        decision = session.bounded(program, goal, max_depth=3)
+        if decision:
+            verdict = f"bounded (depth {decision.verdict['depth']})"
             rewriting = " | ".join(
-                str(q) for q in result.witness_union
+                str(q) for q in decision.certificate
             )
         else:
             verdict = "no certificate <=3"

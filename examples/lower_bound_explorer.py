@@ -8,7 +8,7 @@ nonrecursive checker against encoded computation traces.
 Run:  python examples/lower_bound_explorer.py
 """
 
-from repro.datalog.engine import evaluate
+from repro import Session
 from repro.lowerbounds import (
     decode_expansion,
     encode_deterministic,
@@ -52,16 +52,19 @@ def main() -> None:
               f"{s['nonrecursive_size']:>14}")
 
     print("\nSemantic validation of the Section 6 checker (n = 1):")
+    session = Session(name="lower-bounds")
     enc6 = encode_nonrecursive(machine, 1)
     trace = machine.run_configurations(4)
     legal = trace_database(machine, trace, 1)
     corrupted = trace_database(machine, trace, 1, corrupt_counter_at=2)
     print("  Pi' flags legal trace:    ",
-          bool(evaluate(enc6.nonrecursive, legal).facts("c")), "(want False)")
+          bool(session.query(enc6.nonrecursive, legal, "c").raw),
+          "(want False)")
     print("  Pi' flags corrupted trace:",
-          bool(evaluate(enc6.nonrecursive, corrupted).facts("c")), "(want True)")
+          bool(session.query(enc6.nonrecursive, corrupted, "c").raw),
+          "(want True)")
     print("  Pi accepts legal trace:   ",
-          bool(evaluate(enc6.program, legal).facts("c")), "(want True)")
+          bool(session.query(enc6.program, legal, "c").raw), "(want True)")
 
 
 if __name__ == "__main__":

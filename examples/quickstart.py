@@ -1,12 +1,13 @@
 """Quickstart: decide whether a recursive Datalog program is equivalent
-to a nonrecursive one (the paper's Example 1.1).
+to a nonrecursive one (the paper's Example 1.1) -- through the Session
+API: one configured entry point, one uniform ``Decision`` result.
 
 Run:  python examples/quickstart.py
+      (the same decision from the shell: see ``python -m repro decide``)
 """
 
-from repro import parse_program
-from repro.core import counterexample_database, is_equivalent_to_nonrecursive
-from repro.core.tree_containment import ContainmentResult
+from repro import Session, parse_program
+from repro.core import counterexample_database
 from repro.datalog.engine import evaluate
 from repro.trees.render import render_tree
 
@@ -42,27 +43,40 @@ PI2_REWRITE = parse_program(
 )
 
 
+def report(decision) -> None:
+    verdict = decision.verdict
+    print(f"  equivalent: {verdict['equivalent']}")
+    print(f"  forward  (Pi in rewrite): {verdict['forward']}")
+    print(f"  backward (rewrite in Pi): {verdict['backward']}")
+    print(f"  timings: {decision.timings}  fingerprint: {decision.fingerprint}")
+
+
 def main() -> None:
     print("=" * 64)
     print("Example 1.1 (Chaudhuri & Vardi 1992)")
     print("=" * 64)
 
-    result1 = is_equivalent_to_nonrecursive(PI1, PI1_REWRITE, goal="buys")
-    print("\nPi_1 equivalent to its nonrecursive rewriting:", result1.equivalent)
-    print("  forward  (Pi_1 in rewrite):", result1.forward_holds)
-    print("  backward (rewrite in Pi_1):", result1.backward_holds)
+    # A Session owns its engine/kernel configuration and its caches;
+    # every decision procedure is a method returning a Decision.
+    session = Session(name="quickstart")
 
-    result2 = is_equivalent_to_nonrecursive(PI2, PI2_REWRITE, goal="buys")
-    print("\nPi_2 equivalent to its nonrecursive rewriting:", result2.equivalent)
-    print("  forward  (Pi_2 in rewrite):", result2.forward_holds)
-    print("  backward (rewrite in Pi_2):", result2.backward_holds)
+    print("\nPi_1 vs its nonrecursive rewriting:")
+    decision1 = session.equivalent_to_nonrecursive(PI1, PI1_REWRITE, goal="buys")
+    assert bool(decision1)
+    report(decision1)
 
+    print("\nPi_2 vs its nonrecursive rewriting:")
+    decision2 = session.equivalent_to_nonrecursive(PI2, PI2_REWRITE, goal="buys")
+    assert not decision2
+    report(decision2)
+
+    # The Decision carries the paper's certificate: a proof tree of
+    # Pi_2 that the rewriting misses.
     print("\nA proof tree of Pi_2 that the rewriting misses:")
-    print(render_tree(result2.forward_witness))
+    print(render_tree(decision2.certificate))
 
     # The witness converts into a concrete refuting database.
-    containment = ContainmentResult(False, result2.forward_witness)
-    database, row = counterexample_database(containment, PI2)
+    database, row = counterexample_database(decision2, PI2)
     print("\nCounterexample database (canonical instance of the witness):")
     for atom in sorted(str(a) for a in database.atoms()):
         print("  ", atom)

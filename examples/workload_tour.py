@@ -11,7 +11,7 @@ Walks the scenario axis added on top of the decision procedures:
 Run:  PYTHONPATH=src python examples/workload_tour.py
 """
 
-from repro.core import decide_boundedness
+from repro import Session
 from repro.datalog import program_to_source
 from repro.runner import build_jobs, run_batch, verdicts
 from repro.workloads import (
@@ -32,18 +32,20 @@ print(program_to_source(sirup(2, seed=7)))
 assert program_to_source(sirup(2, seed=7)) == program_to_source(sirup(2, seed=7))
 
 print("== a generated bounded program (2 guards, seed 3) ==")
+session = Session(name="tour")
 program = bounded_program(2, seed=3)
 print(program_to_source(program))
-certificate = decide_boundedness(program, "p", max_depth=3)
-print(f"bounded: {certificate.bounded}, certificate depth: {certificate.depth}")
-assert certificate.bounded and certificate.depth == 2
+certificate = session.bounded(program, "p", max_depth=3)
+print(f"bounded: {certificate.verdict['bounded']}, "
+      f"certificate depth: {certificate.verdict['depth']}")
+assert certificate and certificate.verdict["depth"] == 2
 
 print("== a labeled bounded/unbounded stream (seed 21) ==")
 for candidate, goal, is_bounded in bounded_unbounded_pairs(4, seed=21):
-    result = decide_boundedness(candidate, goal, max_depth=3)
-    verdict = "bounded" if result.bounded else "no certificate"
+    decision = session.bounded(candidate, goal, max_depth=3)
+    verdict = "bounded" if decision else "no certificate"
     print(f"  label={'bounded' if is_bounded else 'unbounded':9s} -> {verdict}")
-    assert bool(result.bounded) == is_bounded
+    assert bool(decision) == is_bounded
 
 # ----------------------------------------------------------------------
 # 2. The registry: named, self-checking scenarios.
@@ -54,9 +56,11 @@ for name in scenario_names(kind="boundedness"):
     scenario = get_scenario(name)
     print(f"  {name:24s} {scenario.description}")
 
-result = run_scenario(get_scenario("equiv_buys_bounded"))
+result = session.run_scenario("equiv_buys_bounded")
 print(f"equiv_buys_bounded -> {result['verdict']} (ground truth ok: {result['ok']})")
 assert result["ok"]
+# run_scenario (the free function) returns the same Decision shape:
+assert run_scenario(get_scenario("equiv_buys_bounded"))["verdict"] == result["verdict"]
 
 # ----------------------------------------------------------------------
 # 3. A mini batch through the runner (serial here; -m repro.runner

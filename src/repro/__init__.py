@@ -21,6 +21,17 @@ Quickstart (a live doctest -- ``tests/test_docs.py`` executes it):
     ... ''')
     >>> bool(is_equivalent_to_nonrecursive(recursive, nonrecursive, goal="buys"))
     True
+
+The same decision through the session facade (every decision
+procedure is a :class:`~repro.session.Session` method returning a
+uniform :class:`~repro.session.Decision`; the free functions above are
+shims onto the default session):
+
+    >>> from repro import Session
+    >>> decision = Session().equivalent_to_nonrecursive(
+    ...     recursive, nonrecursive, goal="buys")
+    >>> decision.kind, decision.verdict["equivalent"]
+    ('equivalence', True)
 """
 
 from .automata import KernelConfig, default_kernel, set_default_kernel
@@ -62,28 +73,28 @@ from .core import (
     ucq_contained_in_datalog,
 )
 
-# Wire the default engine's plan cache and the columnar EDB-image
-# cache into the kernel's shared-cache registry here: engine.py and
-# columns.py cannot import the registry at module level (kernel <->
-# datalog import cycle), and the package root always runs before any
-# submodule.
-from .automata.kernel import register_shared_cache as _register_shared_cache
-from .datalog.columns import clear_edb_images as _clear_edb_images
-from .datalog.engine import clear_default_plan_cache as _clear_default_plan_cache
-
-_register_shared_cache(_clear_default_plan_cache, "datalog.default_plan_cache")
-_register_shared_cache(_clear_edb_images, "datalog.columnar_edb_images")
+from .session import (
+    CachePolicy,
+    Decision,
+    Session,
+    current_session,
+    default_session,
+    use_session,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Atom",
+    "CachePolicy",
     "ConjunctiveQuery",
     "Constant",
     "Database",
+    "Decision",
     "KernelConfig",
     "Program",
     "Rule",
+    "Session",
     "UnionOfConjunctiveQueries",
     "Variable",
     "contained_in_cq",
@@ -92,8 +103,10 @@ __all__ = [
     "cq_contained_in",
     "cq_contained_in_datalog",
     "cq_equivalent",
+    "current_session",
     "decide_boundedness",
     "default_kernel",
+    "default_session",
     "evaluate",
     "evaluate_cq",
     "is_equivalent_to_nonrecursive",
@@ -111,4 +124,5 @@ __all__ = [
     "ucq_contained_in",
     "ucq_contained_in_datalog",
     "unfold_nonrecursive",
+    "use_session",
 ]

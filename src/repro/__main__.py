@@ -1,0 +1,281 @@
+"""``python -m repro`` -- the unified CLI over the Session API.
+
+One entry point for every paper decision procedure and harness,
+replacing the scattered ``python -m repro.runner`` / bench-script
+invocations (which remain as thin aliases):
+
+=============  ========================================================
+subcommand     what it does
+=============  ========================================================
+``decide``     one decision from the shell: ``containment``,
+               ``equivalence`` (the README quickstart), or
+               ``boundedness``; prints the uniform ``Decision`` record
+``eval``       bottom-up evaluation of a program over a facts file
+``scenarios``  the scenario-matrix batch runner (the former
+               ``python -m repro.runner`` CLI, unchanged flags)
+``bench``      the trajectory benchmark suites
+               (``benchmarks/run_bench.py``)
+``bench-check``  the perf-regression smoke guard
+               (``benchmarks/check_regression.py``)
+=============  ========================================================
+
+Examples::
+
+    python -m repro decide equivalence \\
+        --program "buys(X, Y) :- likes(X, Y). \\
+                   buys(X, Y) :- trendy(X), buys(Z, Y)." \\
+        --nonrecursive "buys(X, Y) :- likes(X, Y). \\
+                        buys(X, Y) :- trendy(X), likes(Z, Y)." \\
+        --goal buys
+    python -m repro decide boundedness --program prog.dl --goal p
+    python -m repro decide containment --program prog.dl --goal p \\
+        --union-depth 2
+    python -m repro eval --program tc.dl --db facts.dl --goal p
+    python -m repro scenarios --scenarios tag:bench --workers 4
+    python -m repro bench --smoke --out /tmp/bench-smoke
+    python -m repro bench-check --baseline BENCH_plans.json \\
+        --candidate /tmp/bench-smoke/BENCH_plans.json
+
+``--program`` / ``--nonrecursive`` / ``--union`` / ``--db`` accept a
+file path or inline Datalog source.  Exit status: 0 on a completed
+decision (whatever the verdict), 1 when ``--expect`` was given and the
+verdict's truth value did not match it, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import runpy
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .automata.kernel import KernelConfig
+from .datalog.database import Database
+from .datalog.errors import ReproError
+from .datalog.parser import parse_program
+from .datalog.program import Program
+from .datalog.unfold import expansion_union, unfold_nonrecursive
+from .runner.batch import ENGINE_CONFIGS, KERNEL_CONFIGS
+from .runner.trajectory import find_repo_root
+from .session import Decision, Session
+
+
+def _read_source(spec: str) -> str:
+    """*spec* is a path (read it) or inline Datalog source (use it)."""
+    path = Path(spec)
+    try:
+        if path.exists() and path.is_file():
+            return path.read_text()
+    except OSError:
+        pass
+    return spec
+
+
+def _read_program(spec: str) -> Program:
+    return parse_program(_read_source(spec))
+
+
+def _read_database(spec: str) -> Database:
+    """A facts file/literal: ground, body-less rules (``e(a, b).``)."""
+    program = parse_program(_read_source(spec))
+    atoms = []
+    for rule in program.rules:
+        if rule.body or rule.head.variable_set():
+            raise ReproError(
+                f"--db expects ground facts only, got rule {rule}")
+        atoms.append(rule.head)
+    return Database.from_atoms(atoms)
+
+
+def _session(args) -> Session:
+    engine = ENGINE_CONFIGS[args.engine]
+    kernel = KERNEL_CONFIGS[args.kernel]
+    return Session(engine=engine, kernel=kernel, name="cli")
+
+
+def _emit(decision: Decision, as_json: bool) -> None:
+    record = decision.record()
+    if as_json:
+        print(json.dumps(record, indent=2, sort_keys=True, default=str))
+        return
+    print(f"kind        {record['kind']}")
+    print(f"verdict     {json.dumps(record['verdict'], default=str)}")
+    if decision.checksum:
+        print(f"checksum    {decision.checksum}")
+    if record["stats"]:
+        print(f"stats       {json.dumps(record['stats'], default=str)}")
+    print(f"timings     {json.dumps(record['timings'])}")
+    print(f"fingerprint {record['fingerprint']}")
+
+
+def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", choices=sorted(ENGINE_CONFIGS),
+                        default="columnar",
+                        help="evaluation engine config (default: columnar)")
+    parser.add_argument("--kernel", choices=sorted(KERNEL_CONFIGS),
+                        default="bitset",
+                        help="automaton kernel backend (default: bitset)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full Decision record as JSON")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Unified CLI over the repro Session API.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    decide = sub.add_parser(
+        "decide", help="run one decision procedure from the shell")
+    decide.add_argument("kind",
+                        choices=("containment", "equivalence", "boundedness"))
+    decide.add_argument("--program", required=True,
+                        help="path or inline Datalog source of Pi")
+    decide.add_argument("--goal", required=True,
+                        help="goal predicate of Pi")
+    decide.add_argument("--method", choices=("auto", "tree", "word"),
+                        default="auto",
+                        help="containment pathway (default: auto)")
+    decide.add_argument("--nonrecursive", default=None,
+                        help="[equivalence] path/source of nonrecursive Pi'")
+    decide.add_argument("--nonrecursive-goal", default=None,
+                        help="[equivalence] Pi' goal (default: --goal)")
+    decide.add_argument("--union", default=None,
+                        help="[containment] path/source of a nonrecursive "
+                             "program unfolded into the target UCQ")
+    decide.add_argument("--union-goal", default=None,
+                        help="[containment] goal of --union (default: --goal)")
+    decide.add_argument("--union-depth", type=int, default=None,
+                        help="[containment] use Pi's own depth-k expansion "
+                             "union as the target (truncation test)")
+    decide.add_argument("--max-depth", type=int, default=4,
+                        help="[boundedness] search depth bound (default: 4)")
+    decide.add_argument("--expect", choices=("true", "false"), default=None,
+                        help="exit 1 unless the verdict matches")
+    _add_config_flags(decide)
+
+    evalp = sub.add_parser(
+        "eval", help="bottom-up evaluation of a program over facts")
+    evalp.add_argument("--program", required=True,
+                       help="path or inline Datalog source")
+    evalp.add_argument("--db", required=True,
+                       help="path or inline ground facts (e(a, b). ...)")
+    evalp.add_argument("--goal", required=True, help="goal predicate")
+    evalp.add_argument("--max-stages", type=int, default=None,
+                       help="stage bound (the paper's Q^i semantics)")
+    _add_config_flags(evalp)
+
+    sub.add_parser(
+        "scenarios", add_help=False,
+        help="scenario-matrix batch runner (flags of python -m "
+             "repro.runner; try: scenarios --help)")
+    sub.add_parser(
+        "bench", add_help=False,
+        help="trajectory benchmark suites (flags of "
+             "benchmarks/run_bench.py)")
+    sub.add_parser(
+        "bench-check", add_help=False,
+        help="perf-regression smoke guard (flags of "
+             "benchmarks/check_regression.py)")
+    return parser
+
+
+def _cmd_decide(args) -> int:
+    session = _session(args)
+    program = _read_program(args.program)
+    if args.kind == "equivalence":
+        if args.nonrecursive is None:
+            print("decide equivalence requires --nonrecursive",
+                  file=sys.stderr)
+            return 2
+        decision = session.equivalent_to_nonrecursive(
+            program, _read_program(args.nonrecursive), args.goal,
+            nonrecursive_goal=args.nonrecursive_goal, method=args.method)
+    elif args.kind == "containment":
+        if (args.union is None) == (args.union_depth is None):
+            print("decide containment requires exactly one of --union / "
+                  "--union-depth", file=sys.stderr)
+            return 2
+        if args.union is not None:
+            union = unfold_nonrecursive(_read_program(args.union),
+                                        args.union_goal or args.goal)
+        else:
+            union = expansion_union(program, args.goal, args.union_depth)
+        decision = session.contains(program, args.goal, union,
+                                    method=args.method)
+    else:  # boundedness
+        decision = session.bounded(program, args.goal,
+                                   max_depth=args.max_depth,
+                                   method=args.method)
+    _emit(decision, args.json)
+    if args.expect is not None:
+        if bool(decision) != (args.expect == "true"):
+            print(f"FAIL: expected {args.expect}, verdict says "
+                  f"{bool(decision)}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_eval(args) -> int:
+    session = _session(args)
+    decision = session.query(_read_program(args.program),
+                             _read_database(args.db), args.goal,
+                             max_stages=args.max_stages)
+    _emit(decision, args.json)
+    if not args.json:
+        rows = sorted(tuple(str(constant.value) for constant in row)
+                      for row in decision.raw)
+        for row in rows:
+            print(f"  {args.goal}({', '.join(row)})")
+    return 0
+
+
+def _run_bench_script(script: str, argv: List[str]) -> int:
+    """Execute a benchmarks/ harness script in-process (they live in
+    the checkout, not the package -- located via the repo root)."""
+    path = find_repo_root() / "benchmarks" / script
+    if not path.is_file():
+        print(f"cannot find {path} -- the bench subcommands need a repo "
+              f"checkout (benchmarks/ is not installed)", file=sys.stderr)
+        return 2
+    saved_argv = sys.argv
+    sys.argv = [str(path)] + argv
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    except SystemExit as status:
+        code = status.code
+        return code if isinstance(code, int) else (0 if code is None else 1)
+    finally:
+        sys.argv = saved_argv
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Pass-through subcommands keep their own argparse (and --help).
+    if argv and argv[0] == "scenarios":
+        from .runner.__main__ import main as runner_main
+
+        return runner_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return _run_bench_script("run_bench.py", argv[1:])
+    if argv and argv[0] == "bench-check":
+        return _run_bench_script("check_regression.py", argv[1:])
+
+    args = _parser().parse_args(argv)
+    try:
+        if args.command == "decide":
+            return _cmd_decide(args)
+        if args.command == "eval":
+            return _cmd_eval(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 2  # unreachable: argparse enforces the subcommand set
+
+
+if __name__ == "__main__":
+    sys.exit(main())

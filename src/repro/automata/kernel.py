@@ -33,6 +33,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
+from ..context import activate as _activate_session
+from ..context import current_session as _current_session
 from ..datalog.errors import ValidationError
 
 _BACKENDS = ("bitset", "frozenset")
@@ -68,25 +70,45 @@ class KernelConfig:
         return self.backend == "bitset"
 
 
-_DEFAULT_KERNEL = KernelConfig()
+#: Pre-session fallback, only consulted while the package is still
+#: importing (before ``repro.session`` registers the default-session
+#: factory with ``repro.context``).
+_SEED_KERNEL = KernelConfig()
 
 
 def default_kernel() -> KernelConfig:
-    """The process-wide default kernel configuration."""
-    return _DEFAULT_KERNEL
+    """The ambient default kernel configuration.
+
+    Resolution goes through the ambient :class:`~repro.session.Session`
+    (a :class:`contextvars.ContextVar`), so the "default" is per-thread
+    and per-async-task: two threads configured differently no longer
+    race on a module global.
+    """
+    session = _current_session()
+    return session.kernel if session is not None else _SEED_KERNEL
 
 
 def set_default_kernel(config: KernelConfig) -> KernelConfig:
-    """Replace the process-wide default; returns the previous one."""
-    global _DEFAULT_KERNEL
-    previous = _DEFAULT_KERNEL
-    _DEFAULT_KERNEL = config
+    """Replace the ambient default kernel; returns the previous one.
+
+    Implemented by swapping the ambient session for a derived one
+    (same engine, same caches, new kernel) in the ContextVar, so the
+    change is scoped to the current thread/context rather than mutating
+    process-global state.
+    """
+    previous = default_kernel()
+    session = _current_session()
+    if session is None:
+        global _SEED_KERNEL
+        _SEED_KERNEL = config
+    else:
+        _activate_session(session.with_config(kernel=config))
     return previous
 
 
 def resolve_kernel(kernel: Optional[KernelConfig]) -> KernelConfig:
-    """An explicit config wins; None means the process default."""
-    return kernel if kernel is not None else _DEFAULT_KERNEL
+    """An explicit config wins; None means the ambient default."""
+    return kernel if kernel is not None else default_kernel()
 
 
 # ----------------------------------------------------------------------

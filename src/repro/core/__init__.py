@@ -2,18 +2,33 @@
 recursive Datalog programs in unions of conjunctive queries, and
 equivalence to nonrecursive programs, via proof-tree automata."""
 
-from .boundedness import BoundednessResult, bounded_at_depth, decide_boundedness
+from .boundedness import (
+    BoundednessResult,
+    bounded_at_depth,
+    decide_boundedness,
+    search_boundedness,
+)
 from .containment import (
     contained_in_cq,
     contained_in_nonrecursive,
     contained_in_ucq,
     counterexample_database,
     cq_contained_in_datalog,
+    decide_containment_in_ucq,
+    decide_cq_in_datalog,
+    decide_nonrecursive_in_datalog,
+    decide_ucq_in_datalog,
     nonrecursive_contained_in_datalog,
     ucq_contained_in_datalog,
 )
 from .cq_automaton import CQAutomaton, CQState
-from .equivalence import EquivalenceResult, equivalent_to_ucq, is_equivalent_to_nonrecursive
+from .equivalence import (
+    EquivalenceResult,
+    decide_equivalence,
+    decide_equivalence_to_ucq,
+    equivalent_to_ucq,
+    is_equivalent_to_nonrecursive,
+)
 from .materialize import (
     materialize_cq_automaton,
     materialize_fixpoint,
@@ -66,6 +81,12 @@ __all__ = [
     "datalog_contained_in_ucq",
     "datalog_contained_in_ucq_linear",
     "decide_boundedness",
+    "decide_containment_in_ucq",
+    "decide_cq_in_datalog",
+    "decide_equivalence",
+    "decide_equivalence_to_ucq",
+    "decide_nonrecursive_in_datalog",
+    "decide_ucq_in_datalog",
     "equivalent_to_ucq",
     "is_chain_program",
     "is_equivalent_to_nonrecursive",
@@ -75,6 +96,7 @@ __all__ = [
     "nonrecursive_contained_in_datalog",
     "proof_tree_to_labeled_tree",
     "register_core_caches",
+    "search_boundedness",
     "theorem_5_11_via_substrate",
     "to_chain_form",
     "ucq_contained_in_datalog",

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import islice
-from typing import Optional
+from time import perf_counter
+from typing import Dict, Optional
 
 from ..automata.kernel import KernelConfig
 from ..cq.canonical import canonical_database
@@ -31,7 +32,7 @@ from ..datalog.engine import Engine, evaluate
 from ..datalog.errors import ValidationError
 from ..datalog.program import Program
 from ..datalog.unfold import expansion_union, expansions
-from .containment import contained_in_ucq
+from .containment import decide_containment_in_ucq
 
 
 @dataclass
@@ -65,8 +66,8 @@ def bounded_at_depth(program: Program, goal: str, depth: int,
         # No expansion exists at all: the goal relation is empty, which
         # is trivially bounded.
         return True
-    return contained_in_ucq(program, goal, union, method=method,
-                            kernel=kernel).contained
+    return decide_containment_in_ucq(program, goal, union, method=method,
+                                     kernel=kernel).contained
 
 
 _PROBE_LIMIT = 64        # cap on probed expansions per depth
@@ -100,6 +101,62 @@ def _engine_refutes_depth(program: Program, goal: str, depth: int,
     return False
 
 
+def search_boundedness(program: Program, goal: str, max_depth: int = 4,
+                       method: str = "auto",
+                       engine: Optional[Engine] = None,
+                       kernel: Optional[KernelConfig] = None,
+                       timings: Optional[Dict[str, float]] = None,
+                       stats: Optional[Dict[str, int]] = None) -> BoundednessResult:
+    """The boundedness-search implementation (explicit configuration).
+
+    When *timings* is a dict it accumulates ``probe_s`` (engine
+    counterexample probes) and ``containment_s`` (automata
+    containments); *stats* likewise collects ``depths_probed``,
+    ``engine_refuted`` and ``containments_run``.
+    """
+    program.require_goal(goal)
+    all_safe = all(rule.is_safe for rule in program.rules)
+    # One-off candidate programs would churn the session's plan cache;
+    # give the probes their own engine unless one was supplied.
+    probe_engine = engine or Engine()
+    probe_s = containment_s = 0.0
+    depths_probed = engine_refuted = containments_run = 0
+
+    def _finish(result: BoundednessResult) -> BoundednessResult:
+        if timings is not None:
+            timings["probe_s"] = round(probe_s, 6)
+            timings["containment_s"] = round(containment_s, 6)
+        if stats is not None:
+            stats["depths_probed"] = depths_probed
+            stats["engine_refuted"] = engine_refuted
+            stats["containments_run"] = containments_run
+        return result
+
+    for depth in range(1, max_depth + 1):
+        union = expansion_union(program, goal, depth)
+        if not union.disjuncts:
+            continue
+        depths_probed += 1
+        if all_safe:
+            started = perf_counter()
+            refuted = _engine_refutes_depth(program, goal, depth, union,
+                                            probe_engine)
+            probe_s += perf_counter() - started
+            if refuted:
+                engine_refuted += 1
+                continue
+        started = perf_counter()
+        containments_run += 1
+        contained = decide_containment_in_ucq(program, goal, union,
+                                              method=method,
+                                              kernel=kernel).contained
+        containment_s += perf_counter() - started
+        if contained:
+            return _finish(BoundednessResult(bounded=True, depth=depth,
+                                             witness_union=union))
+    return _finish(BoundednessResult(bounded=None))
+
+
 def decide_boundedness(program: Program, goal: str, max_depth: int = 4,
                        method: str = "auto",
                        engine: Optional[Engine] = None,
@@ -114,23 +171,15 @@ def decide_boundedness(program: Program, goal: str, max_depth: int = 4,
 
     For safe programs, each depth first runs the cheap counterexample
     route through the evaluation engine (*engine*, defaulting to the
-    compiled one): deeper expansions whose canonical databases escape
-    the candidate union refute the depth without touching the automata
-    machinery.
+    session's compiled one): deeper expansions whose canonical
+    databases escape the candidate union refute the depth without
+    touching the automata machinery.
+
+    Delegates to the ambient :class:`repro.session.Session`
+    (:meth:`~repro.session.Session.bounded`).
     """
-    program.require_goal(goal)
-    all_safe = all(rule.is_safe for rule in program.rules)
-    # One-off candidate programs would churn the process-wide plan
-    # cache; give the probes their own engine unless one was supplied.
-    probe_engine = engine or Engine()
-    for depth in range(1, max_depth + 1):
-        union = expansion_union(program, goal, depth)
-        if not union.disjuncts:
-            continue
-        if all_safe and _engine_refutes_depth(program, goal, depth, union,
-                                              probe_engine):
-            continue
-        if contained_in_ucq(program, goal, union, method=method,
-                            kernel=kernel).contained:
-            return BoundednessResult(bounded=True, depth=depth, witness_union=union)
-    return BoundednessResult(bounded=None)
+    from ..session import current_session
+
+    return current_session().bounded(program, goal, max_depth=max_depth,
+                                     method=method, engine=engine,
+                                     kernel=kernel).raw

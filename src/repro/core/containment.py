@@ -14,6 +14,14 @@ CQ / UCQ  in  recursive Pi             canonical database + bottom-up
                                        evaluation [CK86, Sa88b]
 nonrecursive Pi'  in  recursive Pi     unfold Pi', then the above
 =====================================  ==============================
+
+Two layers live here.  The ``decide_*`` functions are the
+implementations: they take explicit ``kernel=``/``engine=``
+configuration and are what :class:`repro.session.Session` calls.  The
+historical free functions (:func:`contained_in_ucq`,
+:func:`cq_contained_in_datalog`, ...) are thin shims that delegate to
+the ambient session -- same signatures, same return types, now
+session-configured and thread-safe.
 """
 
 from __future__ import annotations
@@ -28,24 +36,30 @@ from ..datalog.engine import Engine, evaluate
 from ..datalog.errors import ValidationError
 from ..datalog.program import Program
 from ..datalog.unfold import unfold_nonrecursive
-from ..trees.expansion import ExpansionTree
 from ..trees.proof import proof_tree_to_expansion_tree
 from .tree_containment import ContainmentResult, datalog_contained_in_ucq
 from .word_path import datalog_contained_in_ucq_linear, is_chain_program
 
 
-def contained_in_ucq(program: Program, goal: str,
-                     union: UnionOfConjunctiveQueries,
-                     method: str = "auto",
-                     use_antichain: bool = True,
-                     kernel: Optional[KernelConfig] = None) -> ContainmentResult:
-    """Decide ``Q_Pi subseteq union`` (Theorem 5.12).
+def _session():
+    from ..session import current_session
 
-    ``method``: ``"tree"`` forces the tree-automaton pathway, ``"word"``
-    the word-automaton pathway (chain-form programs only), ``"auto"``
-    picks the word pathway when available.  ``kernel`` selects the
-    automaton kernel backend (bitset by default) for either pathway.
-    """
+    return current_session()
+
+
+# ----------------------------------------------------------------------
+# Implementations (explicit configuration; called by the Session).
+# ----------------------------------------------------------------------
+
+def decide_containment_in_ucq(program: Program, goal: str,
+                              union: UnionOfConjunctiveQueries,
+                              method: str = "auto",
+                              use_antichain: bool = True,
+                              kernel: Optional[KernelConfig] = None) -> ContainmentResult:
+    """Decide ``Q_Pi subseteq union`` (Theorem 5.12) -- the method
+    dispatcher: ``"tree"`` forces the tree-automaton pathway,
+    ``"word"`` the word-automaton pathway (chain-form programs only),
+    ``"auto"`` picks the word pathway when available."""
     program.require_goal(goal)
     if method not in ("auto", "tree", "word"):
         raise ValidationError(f"unknown containment method {method!r}")
@@ -57,40 +71,13 @@ def contained_in_ucq(program: Program, goal: str,
                                     use_antichain=use_antichain, kernel=kernel)
 
 
-def contained_in_cq(program: Program, goal: str, theta: ConjunctiveQuery,
-                    method: str = "auto",
-                    use_antichain: bool = True,
-                    kernel: Optional[KernelConfig] = None) -> ContainmentResult:
-    """Decide ``Q_Pi subseteq theta`` (Corollary 5.7)."""
-    union = UnionOfConjunctiveQueries([theta], theta.arity)
-    return contained_in_ucq(program, goal, union, method=method,
-                            use_antichain=use_antichain, kernel=kernel)
-
-
-def contained_in_nonrecursive(program: Program, goal: str,
-                              nonrecursive: Program,
-                              nonrecursive_goal: Optional[str] = None,
-                              method: str = "auto",
-                              kernel: Optional[KernelConfig] = None) -> ContainmentResult:
-    """Decide ``Q_Pi subseteq Q'_Pi'`` for nonrecursive Pi'
-    (Theorem 6.4): rewrite Pi' as a union of conjunctive queries (the
-    potentially exponential step whose necessity Section 6 proves) and
-    decide containment in the union."""
-    union = unfold_nonrecursive(nonrecursive, nonrecursive_goal or goal)
-    return contained_in_ucq(program, goal, union, method=method, kernel=kernel)
-
-
-# ----------------------------------------------------------------------
-# The classical reverse direction.
-# ----------------------------------------------------------------------
-
-def cq_contained_in_datalog(theta: ConjunctiveQuery, program: Program,
-                            goal: str,
-                            engine: Optional[Engine] = None) -> bool:
+def decide_cq_in_datalog(theta: ConjunctiveQuery, program: Program,
+                         goal: str,
+                         engine: Optional[Engine] = None) -> bool:
     """Decide ``theta subseteq Q_Pi`` by the canonical-database test
     [CK86, Sa88b]: freeze theta's variables into constants, evaluate Pi
     bottom-up on the frozen body, and check that the frozen head is
-    derived.  ``engine`` overrides the default compiled engine.
+    derived.
 
     Requires a safe theta (an unsafe query cannot be contained in a
     Datalog program under active-domain semantics unless its frozen
@@ -107,12 +94,83 @@ def cq_contained_in_datalog(theta: ConjunctiveQuery, program: Program,
     return head_row in result.facts(goal)
 
 
+def decide_ucq_in_datalog(union: UnionOfConjunctiveQueries,
+                          program: Program, goal: str,
+                          engine: Optional[Engine] = None) -> bool:
+    """Decide ``union subseteq Q_Pi`` disjunct-wise (Theorem 2.3)."""
+    return all(decide_cq_in_datalog(theta, program, goal, engine=engine)
+               for theta in union)
+
+
+def decide_nonrecursive_in_datalog(nonrecursive: Program,
+                                   nonrecursive_goal: str,
+                                   program: Program, goal: str,
+                                   engine: Optional[Engine] = None) -> bool:
+    """Decide ``Q'_Pi' subseteq Q_Pi`` for nonrecursive Pi'."""
+    union = unfold_nonrecursive(nonrecursive, nonrecursive_goal)
+    return decide_ucq_in_datalog(union, program, goal, engine=engine)
+
+
+# ----------------------------------------------------------------------
+# The historical free functions: shims onto the ambient session.
+# ----------------------------------------------------------------------
+
+def contained_in_ucq(program: Program, goal: str,
+                     union: UnionOfConjunctiveQueries,
+                     method: str = "auto",
+                     use_antichain: bool = True,
+                     kernel: Optional[KernelConfig] = None) -> ContainmentResult:
+    """Decide ``Q_Pi subseteq union`` (Theorem 5.12).
+
+    Delegates to the ambient :class:`repro.session.Session`;
+    ``kernel=None`` means the session's kernel.  ``method``: ``"tree"``
+    forces the tree-automaton pathway, ``"word"`` the word-automaton
+    pathway (chain-form programs only), ``"auto"`` picks the word
+    pathway when available.
+    """
+    return _session().contains(program, goal, union, method=method,
+                               use_antichain=use_antichain,
+                               kernel=kernel).raw
+
+
+def contained_in_cq(program: Program, goal: str, theta: ConjunctiveQuery,
+                    method: str = "auto",
+                    use_antichain: bool = True,
+                    kernel: Optional[KernelConfig] = None) -> ContainmentResult:
+    """Decide ``Q_Pi subseteq theta`` (Corollary 5.7)."""
+    return _session().contains_cq(program, goal, theta, method=method,
+                                  use_antichain=use_antichain,
+                                  kernel=kernel).raw
+
+
+def contained_in_nonrecursive(program: Program, goal: str,
+                              nonrecursive: Program,
+                              nonrecursive_goal: Optional[str] = None,
+                              method: str = "auto",
+                              kernel: Optional[KernelConfig] = None) -> ContainmentResult:
+    """Decide ``Q_Pi subseteq Q'_Pi'`` for nonrecursive Pi'
+    (Theorem 6.4): rewrite Pi' as a union of conjunctive queries (the
+    potentially exponential step whose necessity Section 6 proves) and
+    decide containment in the union."""
+    return _session().contains_nonrecursive(
+        program, goal, nonrecursive, nonrecursive_goal,
+        method=method, kernel=kernel).raw
+
+
+def cq_contained_in_datalog(theta: ConjunctiveQuery, program: Program,
+                            goal: str,
+                            engine: Optional[Engine] = None) -> bool:
+    """Decide ``theta subseteq Q_Pi`` by the canonical-database test
+    [CK86, Sa88b] (see :func:`decide_cq_in_datalog`); ``engine``
+    overrides the ambient session's engine."""
+    return _session().cq_contained(theta, program, goal, engine=engine).raw
+
+
 def ucq_contained_in_datalog(union: UnionOfConjunctiveQueries,
                              program: Program, goal: str,
                              engine: Optional[Engine] = None) -> bool:
     """Decide ``union subseteq Q_Pi`` disjunct-wise (Theorem 2.3)."""
-    return all(cq_contained_in_datalog(theta, program, goal, engine=engine)
-               for theta in union)
+    return _session().ucq_contained(union, program, goal, engine=engine).raw
 
 
 def nonrecursive_contained_in_datalog(nonrecursive: Program,
@@ -120,8 +178,8 @@ def nonrecursive_contained_in_datalog(nonrecursive: Program,
                                       program: Program, goal: str,
                                       engine: Optional[Engine] = None) -> bool:
     """Decide ``Q'_Pi' subseteq Q_Pi`` for nonrecursive Pi'."""
-    union = unfold_nonrecursive(nonrecursive, nonrecursive_goal)
-    return ucq_contained_in_datalog(union, program, goal, engine=engine)
+    return _session().nonrecursive_contained(
+        nonrecursive, nonrecursive_goal, program, goal, engine=engine).raw
 
 
 # ----------------------------------------------------------------------
@@ -136,8 +194,29 @@ def counterexample_database(result: ContainmentResult,
     (Proposition 5.5's renaming), its conjunctive query is frozen into
     a canonical database D, and the frozen head row is returned:
     running Pi on D derives the row, while the union does not produce
-    it -- a machine-checkable refutation.
+    it -- a machine-checkable refutation.  Accepts a containment or
+    equivalence :class:`~repro.session.Decision` /
+    :class:`~repro.core.equivalence.EquivalenceResult` too (the failed
+    forward direction is the refuted containment).
     """
+    unwrapped = getattr(result, "raw", result)
+    if unwrapped is None:
+        # A payload-stripped Decision (the shape the batch runner ships
+        # across process boundaries): the witness is gone.
+        raise ValidationError(
+            "decision carries no witness payload (stripped for "
+            "transport); re-run the containment in-process to extract "
+            "a counterexample"
+        )
+    result = unwrapped
+    if hasattr(result, "forward_witness"):  # an equivalence outcome
+        result = ContainmentResult(contained=result.forward_holds,
+                                   witness=result.forward_witness)
+    if not hasattr(result, "contained"):  # e.g. a reverse-direction bool
+        raise ValidationError(
+            f"no proof-tree witness in {type(result).__name__!r} -- only "
+            "forward (automata) containment outcomes carry one"
+        )
     if result.contained or result.witness is None:
         raise ValidationError("containment holds; no counterexample exists")
     expansion = proof_tree_to_expansion_tree(result.witness)

@@ -35,10 +35,10 @@ identical future behaviour and preserves the recognized tree language.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 from itertools import product
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..context import current_scope
 from ..cq.query import ConjunctiveQuery
 from ..datalog.atoms import Atom
 from ..datalog.errors import ValidationError
@@ -354,14 +354,19 @@ class CQAutomaton:
         return bool(self.successors_cached(state, label))
 
 
-@lru_cache(maxsize=512)
 def shared_cq_automaton(program: Program, goal: str,
                         theta: ConjunctiveQuery) -> CQAutomaton:
-    """A process-wide query automaton per (program, goal, theta).
+    """The ambient cache scope's query automaton per
+    (program, goal, theta).
 
     Expansion unions grow monotonically with the probed depth, so the
     boundedness search and repeated containment calls keep re-creating
     automata for the same disjuncts; sharing them also shares their
-    hash-consed states and successor caches.
+    hash-consed states and successor caches.  Scoped to the ambient
+    session (:mod:`repro.context`): concurrent sessions build their
+    own instances, the default session shares process-wide.
     """
-    return CQAutomaton(program, goal, theta)
+    return current_scope().memo(
+        "core.cq_automaton", (program, goal, theta),
+        lambda: CQAutomaton(program, goal, theta), limit=512,
+    )

@@ -10,23 +10,28 @@ EDB vocabulary) is decided by two containments:
   recursive program in a union of conjunctive queries via proof-tree
   automata (Theorem 5.12), triply exponential overall because of the
   unfolding blowup (Theorem 6.5 shows this is optimal).
+
+The ``decide_*`` functions are the implementations (explicit
+configuration, optional per-phase ``timings`` capture) called by
+:class:`repro.session.Session`; the historical free functions delegate
+to the ambient session.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Optional
 
 from ..automata.kernel import KernelConfig
 from ..cq.query import UnionOfConjunctiveQueries
-from ..datalog.analysis import is_nonrecursive, is_recursive
+from ..datalog.analysis import is_recursive
 from ..datalog.engine import Engine
 from ..datalog.errors import NotNonrecursiveError, ValidationError
 from ..datalog.program import Program
 from ..datalog.unfold import unfold_nonrecursive
 from ..trees.expansion import ExpansionTree
-from .containment import contained_in_ucq, ucq_contained_in_datalog
-from .tree_containment import ContainmentResult
+from .containment import decide_containment_in_ucq, decide_ucq_in_datalog
 
 
 @dataclass
@@ -49,6 +54,81 @@ class EquivalenceResult:
         return self.equivalent
 
 
+def _stamp(timings: Optional[Dict[str, float]], key: str,
+           started: float) -> None:
+    if timings is not None:
+        timings[key] = round(perf_counter() - started, 6)
+
+
+def decide_equivalence(program: Program, nonrecursive: Program, goal: str,
+                       nonrecursive_goal: Optional[str] = None,
+                       method: str = "auto",
+                       engine: Optional[Engine] = None,
+                       kernel: Optional[KernelConfig] = None,
+                       timings: Optional[Dict[str, float]] = None) -> EquivalenceResult:
+    """The Theorem 6.5 implementation (explicit configuration).
+
+    When *timings* is a dict, the three phases are stamped into it:
+    ``unfold_s`` (Pi' to a UCQ), ``backward_s`` (canonical-database
+    tests) and ``forward_s`` (the proof-tree-automata containment).
+    """
+    nonrecursive_goal = nonrecursive_goal or goal
+    if is_recursive(nonrecursive):
+        raise NotNonrecursiveError(
+            "second program must be nonrecursive (general Datalog "
+            "equivalence is undecidable [Shm87])"
+        )
+    program.require_goal(goal)
+    nonrecursive.require_goal(nonrecursive_goal)
+    if program.arity[goal] != nonrecursive.arity[nonrecursive_goal]:
+        raise ValidationError("goal predicates have different arities")
+
+    started = perf_counter()
+    union = unfold_nonrecursive(nonrecursive, nonrecursive_goal)
+    _stamp(timings, "unfold_s", started)
+    started = perf_counter()
+    backward = decide_ucq_in_datalog(union, program, goal, engine=engine)
+    _stamp(timings, "backward_s", started)
+    started = perf_counter()
+    forward = decide_containment_in_ucq(program, goal, union,
+                                        method=method, kernel=kernel)
+    _stamp(timings, "forward_s", started)
+    stats = dict(forward.stats)
+    stats["union_disjuncts"] = len(union)
+    stats["union_size"] = union.size()
+    return EquivalenceResult(
+        equivalent=forward.contained and backward,
+        forward_holds=forward.contained,
+        backward_holds=backward,
+        forward_witness=forward.witness,
+        stats=stats,
+    )
+
+
+def decide_equivalence_to_ucq(program: Program, goal: str,
+                              union: UnionOfConjunctiveQueries,
+                              method: str = "auto",
+                              engine: Optional[Engine] = None,
+                              kernel: Optional[KernelConfig] = None,
+                              timings: Optional[Dict[str, float]] = None) -> EquivalenceResult:
+    """The Theorem 5.12 form of the problem (explicit configuration)."""
+    program.require_goal(goal)
+    started = perf_counter()
+    backward = decide_ucq_in_datalog(union, program, goal, engine=engine)
+    _stamp(timings, "backward_s", started)
+    started = perf_counter()
+    forward = decide_containment_in_ucq(program, goal, union,
+                                        method=method, kernel=kernel)
+    _stamp(timings, "forward_s", started)
+    return EquivalenceResult(
+        equivalent=forward.contained and backward,
+        forward_holds=forward.contained,
+        backward_holds=backward,
+        forward_witness=forward.witness,
+        stats=dict(forward.stats),
+    )
+
+
 def is_equivalent_to_nonrecursive(program: Program, nonrecursive: Program,
                                   goal: str,
                                   nonrecursive_goal: Optional[str] = None,
@@ -62,32 +142,15 @@ def is_equivalent_to_nonrecursive(program: Program, nonrecursive: Program,
     the same name.  Raises :class:`NotNonrecursiveError` when Pi' is
     recursive (use two containment calls directly for that undecidable
     case at your own peril -- the paper proves general Datalog
-    equivalence undecidable [Shm87]).
+    equivalence undecidable [Shm87]).  Delegates to the ambient
+    :class:`repro.session.Session`; ``engine``/``kernel`` override the
+    session's configuration for this call.
     """
-    nonrecursive_goal = nonrecursive_goal or goal
-    if is_recursive(nonrecursive):
-        raise NotNonrecursiveError(
-            "second program must be nonrecursive (general Datalog "
-            "equivalence is undecidable [Shm87])"
-        )
-    program.require_goal(goal)
-    nonrecursive.require_goal(nonrecursive_goal)
-    if program.arity[goal] != nonrecursive.arity[nonrecursive_goal]:
-        raise ValidationError("goal predicates have different arities")
+    from ..session import current_session
 
-    union = unfold_nonrecursive(nonrecursive, nonrecursive_goal)
-    backward = ucq_contained_in_datalog(union, program, goal, engine=engine)
-    forward = contained_in_ucq(program, goal, union, method=method, kernel=kernel)
-    stats = dict(forward.stats)
-    stats["union_disjuncts"] = len(union)
-    stats["union_size"] = union.size()
-    return EquivalenceResult(
-        equivalent=forward.contained and backward,
-        forward_holds=forward.contained,
-        backward_holds=backward,
-        forward_witness=forward.witness,
-        stats=stats,
-    )
+    return current_session().equivalent_to_nonrecursive(
+        program, nonrecursive, goal, nonrecursive_goal,
+        method=method, engine=engine, kernel=kernel).raw
 
 
 def equivalent_to_ucq(program: Program, goal: str,
@@ -96,14 +159,10 @@ def equivalent_to_ucq(program: Program, goal: str,
                       engine: Optional[Engine] = None,
                       kernel: Optional[KernelConfig] = None) -> EquivalenceResult:
     """Decide ``Pi == union`` directly against a union of conjunctive
-    queries (the Theorem 5.12 form of the problem)."""
-    program.require_goal(goal)
-    backward = ucq_contained_in_datalog(union, program, goal, engine=engine)
-    forward = contained_in_ucq(program, goal, union, method=method, kernel=kernel)
-    return EquivalenceResult(
-        equivalent=forward.contained and backward,
-        forward_holds=forward.contained,
-        backward_holds=backward,
-        forward_witness=forward.witness,
-        stats=dict(forward.stats),
-    )
+    queries (the Theorem 5.12 form of the problem).  Delegates to the
+    ambient :class:`repro.session.Session`."""
+    from ..session import current_session
+
+    return current_session().equivalent_to_ucq(
+        program, goal, union, method=method, engine=engine,
+        kernel=kernel).raw

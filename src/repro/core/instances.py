@@ -10,10 +10,10 @@ provides the shared, cached enumeration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 from itertools import product
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..context import current_scope
 from ..datalog.atoms import Atom
 from ..datalog.program import Program
 from ..datalog.rules import Rule
@@ -127,61 +127,75 @@ class InstanceEnumerator:
         return sum(len(self.labels_for(atom)) for atom in root_atoms(self._program, goal))
 
 
-@lru_cache(maxsize=64)
 def shared_enumerator(program: Program) -> InstanceEnumerator:
-    """A process-wide enumerator per program value.
+    """The ambient cache scope's enumerator per program value.
 
     ``Program`` is a frozen dataclass, so equal programs share one
     enumerator -- and hence one label cache -- across repeated
     containment calls (the boundedness search rebuilds the same
     automata for every probed depth).  The enumerator only ever grows
-    monotone caches, so sharing is semantically transparent.
+    monotone caches, so sharing is semantically transparent.  The memo
+    table lives in the ambient session's
+    :class:`~repro.context.CacheScope` (the process-global scope by
+    default), so two live sessions never share enumerators.
     """
-    return InstanceEnumerator(program)
+    return current_scope().memo(
+        "core.enumerator", program, lambda: InstanceEnumerator(program),
+        limit=64,
+    )
 
 
 def register_core_caches() -> None:
-    """Register this layer's process-wide caches with the kernel's
-    cache-lifecycle registry.  Imported lazily to avoid import cycles;
-    registration is idempotent (the core package calls this at import
-    time, and :func:`clear_shared_caches` re-asserts it)."""
+    """Register the default session's caches with the kernel's
+    cache-lifecycle registry: the global cache scope (automaton
+    factories, EDB images) and the default engine's compiled-plan
+    cache.  Imported lazily to avoid import cycles; registration is
+    idempotent (the core package calls this at import time, and
+    :func:`clear_shared_caches` re-asserts it)."""
     from ..automata.kernel import register_shared_cache
-    from .cq_automaton import shared_cq_automaton
-    from .ptree_automaton import shared_ptree_automaton
+    from ..context import GLOBAL_SCOPE
+    from ..datalog.engine import clear_default_plan_cache
 
-    register_shared_cache(shared_enumerator.cache_clear,
-                          "core.shared_enumerator")
-    register_shared_cache(shared_ptree_automaton.cache_clear,
-                          "core.shared_ptree_automaton")
-    register_shared_cache(shared_cq_automaton.cache_clear,
-                          "core.shared_cq_automaton")
+    register_shared_cache(GLOBAL_SCOPE.clear, "context.global_scope")
+    register_shared_cache(clear_default_plan_cache,
+                          "datalog.default_plan_cache")
 
 
 def clear_shared_caches() -> None:
-    """Drop every registered process-wide cache (automaton caches and
-    the default engine's compiled-plan cache).
+    """Drop the ambient session's caches (automaton caches, EDB
+    images, compiled plans).
 
     This is the cold-start hook of the benchmark harness and the batch
     runner (:mod:`repro.runner`), and a memory valve for long-running
     services.  It delegates to
+    :meth:`repro.session.Session.clear_caches` on the ambient session;
+    for the default session that also runs
     :func:`repro.automata.kernel.clear_registered_caches`, so caches
-    owned by other layers are dropped too.
+    registered by other layers are dropped too.
     """
-    from ..automata.kernel import clear_registered_caches
+    from ..context import current_session
 
-    register_core_caches()
-    clear_registered_caches()
+    session = current_session()
+    if session is None:  # mid-import fallback: clear the registry
+        from ..automata.kernel import clear_registered_caches
+
+        register_core_caches()
+        clear_registered_caches()
+        return
+    session.clear_caches()
 
 
 def warm_shared_caches(program: Program, goal: str, union=None) -> None:
-    """Pre-build the shared per-program caches for *program*/*goal*.
+    """Pre-build the ambient scope's per-program caches for
+    *program*/*goal*.
 
     Constructs the shared enumerator and proof-tree automaton (and,
     when a union of conjunctive queries is given, the per-disjunct
     query automata) so subsequent decision calls start warm.  Used by
-    the batch runner's worker initializer: each
+    :meth:`repro.session.Session.warm` and the batch runner's worker
+    initializer: each
     :class:`~concurrent.futures.ProcessPoolExecutor` worker owns its
-    own process-wide caches, which would otherwise start cold.
+    own caches, which would otherwise start cold.
     """
     from .cq_automaton import shared_cq_automaton
     from .ptree_automaton import shared_ptree_automaton

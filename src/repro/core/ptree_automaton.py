@@ -16,10 +16,10 @@ reports it without materializing.
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..automata.tree import LabeledTree, TreeAutomaton
+from ..context import current_scope
 from ..datalog.atoms import Atom
 from ..datalog.program import Program
 from ..datalog.rules import Rule
@@ -158,13 +158,18 @@ class PTreeAutomaton:
         return check(tree)
 
 
-@lru_cache(maxsize=64)
 def shared_ptree_automaton(program: Program, goal: str) -> PTreeAutomaton:
-    """A process-wide proof-tree automaton per (program, goal).
+    """The ambient cache scope's proof-tree automaton per
+    (program, goal).
 
     The automaton is immutable apart from monotone caches (reachable
     goal atoms, materialized transitions), so the containment and
     boundedness entry points share instances across calls instead of
-    re-deriving the live state space per invocation.
+    re-deriving the live state space per invocation.  Scoped to the
+    ambient session (:mod:`repro.context`): concurrent sessions build
+    their own instances, the default session shares process-wide.
     """
-    return PTreeAutomaton(program, goal)
+    return current_scope().memo(
+        "core.ptree_automaton", (program, goal),
+        lambda: PTreeAutomaton(program, goal), limit=64,
+    )

@@ -16,9 +16,11 @@ Three ideas, in the spirit of Souffle-style compiled Datalog:
   an immutable :class:`EdbImage` (C-level ``zip`` transpose, bulk
   ``map`` interning) and cached, so repeated evaluations over the same
   database -- fixpoint probes, benchmark repeats, magic counts -- skip
-  re-interning entirely.  The image cache is registered with the
-  kernel's shared-cache registry, so ``clear_shared_caches()`` (cold
-  benchmark mode) drops it along with the automaton caches.
+  re-interning entirely.  The image cache lives in the ambient
+  session's cache scope (:mod:`repro.context`), so
+  ``clear_shared_caches()`` / ``Session.clear_caches()`` (cold
+  benchmark mode) drop it along with the automaton caches and two live
+  sessions never share images.
 * **Batch execution of join plans.**  :func:`execute_batch` runs a
   :class:`~repro.datalog.plan.ResolvedPlan` over a whole frontier at
   once.  The frontier is a set of register *columns*; each plan step
@@ -57,6 +59,7 @@ from array import array
 from itertools import repeat
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..context import current_scope as _current_scope
 from .database import Database
 from .plan import OP_BIND, OP_CHECK, OP_CONST, PlanCache, ResolvedPlan
 from .program import Program
@@ -219,37 +222,57 @@ class EdbImage:
         return entry
 
 
-#: id(database) -> (weakref-to-database, EdbImage).  Keyed by identity
-#: because Database defines __eq__ without __hash__; weakrefs evict
-#: entries when the database dies, _MAX_IMAGES bounds the live set.
-_EDB_IMAGES: Dict[int, Tuple[weakref.ref, EdbImage]] = {}
+#: Scope-table name: id(database) -> (weakref-to-database, EdbImage).
+#: Keyed by identity because Database defines __eq__ without __hash__;
+#: weakrefs evict entries when the database dies, _MAX_IMAGES bounds
+#: the live set.  The table lives in the ambient session's
+#: :class:`~repro.context.CacheScope`, so concurrent sessions image the
+#: same database independently (zero cache bleed) and
+#: ``Session.clear_caches()`` drops images along with the automaton
+#: caches.
+_IMAGES_TABLE = "datalog.edb_images"
 _MAX_IMAGES = 64
 
 
+def __getattr__(name):
+    # Backward compatibility: the image table used to be the module
+    # global ``_EDB_IMAGES``.  Expose the ambient scope's live table
+    # under the old name (scopes clear tables in place, so a reference
+    # bound at import time stays truthful for the default session).
+    if name == "_EDB_IMAGES":
+        return _current_scope().table(_IMAGES_TABLE)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 def clear_edb_images() -> None:
-    """Drop every cached :class:`EdbImage` (cold-start hook; registered
-    with the kernel's shared-cache registry by the package root)."""
-    _EDB_IMAGES.clear()
+    """Drop the ambient scope's cached :class:`EdbImage` entries
+    (cold-start hook; the default session's scope is also cleared by
+    :func:`repro.core.clear_shared_caches`)."""
+    _current_scope().table(_IMAGES_TABLE).clear()
 
 
 def edb_image(database: Database) -> EdbImage:
     """The cached columnar image of *database* (rebuilt when the
     database's mutation version moved)."""
+    scope = _current_scope()
+    images = scope.table(_IMAGES_TABLE)
     key = id(database)
-    entry = _EDB_IMAGES.get(key)
+    entry = images.get(key)
     if entry is not None:
         ref, image = entry
         if ref() is database and image.version == database.version():
+            scope.hit(_IMAGES_TABLE)
             return image
-        del _EDB_IMAGES[key]
+        del images[key]
+    scope.miss(_IMAGES_TABLE)
     image = EdbImage(database)
-    if len(_EDB_IMAGES) >= _MAX_IMAGES:
-        _EDB_IMAGES.clear()
+    if len(images) >= _MAX_IMAGES:
+        images.clear()
 
-    def _evict(_ref, _key=key):
-        _EDB_IMAGES.pop(_key, None)
+    def _evict(_ref, _images=images, _key=key):
+        _images.pop(_key, None)
 
-    _EDB_IMAGES[key] = (weakref.ref(database, _evict), image)
+    images[key] = (weakref.ref(database, _evict), image)
     return image
 
 
@@ -603,7 +626,7 @@ def columnar_naive(program: Program, database: Database,
                    cache: Optional[PlanCache] = None):
     """Naive rounds over batch-executed plans; same return shape and
     stage bookkeeping as :func:`~repro.datalog.plan.compiled_naive`."""
-    cache = cache or PlanCache()
+    cache = PlanCache() if cache is None else cache
     idb = program.idb_predicates
     store = ColumnStore(database, idb)
     full = _resolved_plans(program, store, cache)
@@ -640,7 +663,7 @@ def columnar_seminaive(program: Program, database: Database,
                        cache: Optional[PlanCache] = None):
     """Semi-naive deltas over batch-executed plans; mirrors
     :func:`~repro.datalog.plan.compiled_seminaive`."""
-    cache = cache or PlanCache()
+    cache = PlanCache() if cache is None else cache
     idb = program.idb_predicates
     store = ColumnStore(database, idb)
     full = _resolved_plans(program, store, cache)

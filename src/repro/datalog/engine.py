@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from itertools import product
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from ..context import current_session as _current_session
 from .atoms import Atom
 from .columns import columnar_naive, columnar_seminaive
 from .database import Database
@@ -379,23 +380,47 @@ class Engine:
         """Drop this engine's compiled-plan cache."""
         self._plans.clear()
 
+    def plan_cache_size(self) -> int:
+        """Number of compiled plans currently cached (diagnostics --
+        the session facade reports it in ``cache_stats()``)."""
+        return len(self._plans)
 
+
+#: The process seed engine: wrapped by the default session, and the
+#: pre-session fallback while the package is still importing.
 _DEFAULT_ENGINE = Engine()
 
 
-def default_engine() -> Engine:
-    """The process-wide compiled engine used by :func:`evaluate`."""
+def process_default_engine() -> Engine:
+    """The process seed engine (the one the default session wraps).
+
+    Internal plumbing for :mod:`repro.session`; everything else should
+    use :func:`default_engine`, which is session-aware.
+    """
     return _DEFAULT_ENGINE
 
 
-def clear_default_plan_cache() -> None:
-    """Drop the default engine's compiled-plan cache.
+def default_engine() -> Engine:
+    """The ambient session's engine (used by :func:`evaluate`).
 
-    Registered with the kernel's shared-cache registry (by the package
-    root, to dodge the kernel <-> datalog import cycle), so
+    Resolution goes through the ambient :class:`~repro.session.Session`
+    held in a :class:`contextvars.ContextVar`, so concurrent sessions
+    with different engine configurations do not share a mutable module
+    global.
+    """
+    session = _current_session()
+    return session.engine if session is not None else _DEFAULT_ENGINE
+
+
+def clear_default_plan_cache() -> None:
+    """Drop the *default session's* compiled-plan cache.
+
+    Registered with the kernel's shared-cache registry (see
+    :func:`repro.core.register_core_caches`), so
     :func:`repro.core.clear_shared_caches` -- the cold-start hook of
     the benchmark harness and batch runner -- resets compiled plans
-    along with the automaton caches.
+    along with the automaton caches.  Session-private plan caches are
+    cleared by :meth:`repro.session.Session.clear_caches` instead.
     """
     _DEFAULT_ENGINE.clear_plans()
 
@@ -404,14 +429,15 @@ def evaluate(program: Program, database: Database,
              max_stages: Optional[int] = None,
              engine: Optional[Engine] = None) -> EvaluationResult:
     """Evaluate *program* on *database* (compiled semi-naive by default;
-    see module docs)."""
-    return (engine or _DEFAULT_ENGINE).evaluate(program, database,
-                                                max_stages=max_stages)
+    see module docs).  ``engine=None`` uses the ambient session's
+    engine."""
+    return (engine or default_engine()).evaluate(program, database,
+                                                 max_stages=max_stages)
 
 
 def query(program: Program, database: Database, goal: str,
           max_stages: Optional[int] = None,
           engine: Optional[Engine] = None) -> FrozenSet[Row]:
     """The relation ``goal_Pi(D)`` (or its stage-bounded version)."""
-    return (engine or _DEFAULT_ENGINE).query(program, database, goal,
-                                             max_stages=max_stages)
+    return (engine or default_engine()).query(program, database, goal,
+                                              max_stages=max_stages)

@@ -362,7 +362,7 @@ class PlanCache:
 def compile_program(program: Program,
                     cache: Optional[PlanCache] = None) -> Dict[Rule, JoinPlan]:
     """Full-application plans for every rule (convenience for tests)."""
-    cache = cache or PlanCache()
+    cache = PlanCache() if cache is None else cache
     return {rule: cache.plan(rule, None) for rule in program.rules}
 
 
@@ -380,7 +380,7 @@ def compiled_naive(program: Program, database: Database,
     Returns ``(idb, stages, fixpoint)`` with ``idb`` mapping each IDB
     predicate to a frozenset of constant rows.
     """
-    cache = cache or PlanCache()
+    cache = PlanCache() if cache is None else cache
     store = PlanStore(database, interning=interning, indexing=indexing)
     resolved = [(rule.head.predicate, cache.plan(rule, None).resolve(store))
                 for rule in program.rules]
@@ -414,7 +414,7 @@ def compiled_seminaive(program: Program, database: Database,
                        cache: Optional[PlanCache] = None):
     """Semi-naive deltas over compiled plans (one plan per IDB body
     occurrence); same return shape as :func:`compiled_naive`."""
-    cache = cache or PlanCache()
+    cache = PlanCache() if cache is None else cache
     store = PlanStore(database, interning=interning, indexing=indexing)
     idb = program.idb_predicates
     full = [(rule, rule.head.predicate, cache.plan(rule, None).resolve(store))

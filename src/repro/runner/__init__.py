@@ -15,6 +15,7 @@ from .batch import (
     build_jobs,
     execute_job,
     run_batch,
+    run_decision,
     select_scenarios,
     verdicts,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "execute_job",
     "find_repo_root",
     "run_batch",
+    "run_decision",
     "run_metadata",
     "select_scenarios",
     "verdicts",

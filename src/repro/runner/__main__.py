@@ -1,5 +1,9 @@
 """``python -m repro.runner`` -- the scenario-matrix CLI.
 
+(Also reachable as ``python -m repro scenarios``, the unified CLI's
+subcommand; this module remains the implementation and a stable
+alias.)
+
 Runs the scenario registry across engine/kernel configurations,
 serially or sharded over worker processes, checks every verdict
 against constructed ground truth, and appends trajectory records to
@@ -110,8 +114,9 @@ def main(argv=None) -> int:
               f"workers <= cores")
 
     start = time.perf_counter()
-    records = run_batch(jobs, workers=args.workers)
+    decisions = run_batch(jobs, workers=args.workers)
     wall = time.perf_counter() - start
+    records = [decision.record() for decision in decisions]
 
     failures = [r for r in records if not r["ok"]]
     for record in records:
@@ -126,7 +131,7 @@ def main(argv=None) -> int:
         serial_start = time.perf_counter()
         serial_records = run_batch(jobs, workers=1)
         serial_wall = time.perf_counter() - serial_start
-        if verdicts(serial_records) != verdicts(records):
+        if verdicts(serial_records) != verdicts(decisions):
             print("FAIL: parallel verdicts differ from serial execution")
             return 2
         print(f"verified against serial run ({serial_wall:.2f}s wall; "

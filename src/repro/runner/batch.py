@@ -24,15 +24,19 @@ Design points (each load-bearing for correctness or fairness):
   is what makes N workers genuinely divide the work: the expensive
   per-program derivations happen once per scenario *somewhere*, not
   once per worker.
-* **Cache lifecycle.**  In ``warm`` mode each worker pre-warms its
-  shard's per-program caches via the ``shared_*`` factories
-  (:func:`repro.core.warm_shared_caches`) before timing its jobs, so
+* **Cache lifecycle.**  Jobs run inside per-worker
+  :class:`~repro.session.Session` objects (one per engine label), so
+  every cache a job touches -- automaton factories, EDB images,
+  compiled plans -- belongs to a session scope.  In ``warm`` mode the
+  session pre-warms each scenario's caches
+  (:meth:`~repro.session.Session.warm`) before timing its jobs, so
   per-job seconds reflect the steady state of a long-running service.
-  In ``cold`` mode every job first runs
-  :func:`repro.core.clear_shared_caches` (the registered-cache hook
-  that also drops compiled plans) and uses a fresh engine, measuring
-  cold-start behaviour fairly -- previously the benchmark configs
-  leaked warm caches across modes.
+  In ``cold`` mode every job gets a *fresh* session (and the worker's
+  warm sessions are discarded), measuring cold-start behaviour fairly
+  without having to mutate any process-global state.
+* **Decisions cross the process boundary.**  Workers return
+  :class:`~repro.session.Decision` objects (payloads stripped), not
+  ad-hoc tuples; the CLI serializes them via ``Decision.record()``.
 * **Self-checking.**  Every job's verdict is compared against the
   scenario's constructed ground truth; a batch with any ``ok=False``
   entry exits nonzero from the CLI.
@@ -47,13 +51,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..automata.kernel import KernelConfig
-from ..core.instances import clear_shared_caches, warm_shared_caches
-from ..datalog.engine import Engine, EngineConfig
-from ..datalog.unfold import expansion_union, unfold_nonrecursive
+from ..datalog.engine import EngineConfig
+from ..session import Decision, Session
 from ..workloads.scenarios import (
     DECISION_KINDS,
     get_scenario,
-    run_scenario,
     scenario_names,
 )
 
@@ -138,101 +140,82 @@ def build_jobs(scenarios: Sequence[str],
 # Worker-side execution.
 # ----------------------------------------------------------------------
 
-# Per-process engine instances: reused across warm jobs so compiled
-# plans amortize, discarded per job in cold mode.
-_ENGINES: Dict[str, Engine] = {}
+# Per-process warm sessions, one per engine label: reused across warm
+# jobs so compiled plans and automaton caches amortize, discarded (and
+# replaced by fresh private sessions) in cold mode.  Decision jobs all
+# run on the matrix's first engine, so the kernel-neutral automaton
+# caches are shared across that scenario's kernel cells exactly as a
+# serial run would share them.
+_SESSIONS: Dict[str, Session] = {}
 
 
-def _engine_for(label: str, cache: str) -> Engine:
+def _session_for(label: str, cache: str) -> Session:
     if cache == "cold":
-        return Engine(ENGINE_CONFIGS[label])
-    engine = _ENGINES.get(label)
-    if engine is None:
-        engine = _ENGINES[label] = Engine(ENGINE_CONFIGS[label])
-    return engine
+        return Session(engine=ENGINE_CONFIGS[label], cache="private",
+                       name=f"runner-cold-{label}")
+    session = _SESSIONS.get(label)
+    if session is None:
+        session = _SESSIONS[label] = Session(
+            engine=ENGINE_CONFIGS[label], cache="private",
+            name=f"runner-{label}")
+    return session
 
 
-def execute_job(job: Job) -> Dict:
-    """Run one job in the current process and return its record.
+def run_decision(job: Job) -> Decision:
+    """Run one job in the current process and return its
+    :class:`~repro.session.Decision`.
 
-    The record is JSON-serializable: scenario metadata, the matrix
-    cell, the verdict, the ground-truth check, and the wall-clock
-    seconds for the decision call (payload construction excluded from
-    neither -- scenario builds are part of the served work).
+    The decision's ``meta`` carries the matrix cell and the wall-clock
+    seconds for the whole scenario run (payload construction included
+    -- scenario builds are part of the served work); its payload
+    (``certificate``/``raw``) is stripped so decisions pickle cheaply
+    across the process pool.
     """
     scenario = get_scenario(job.scenario)
     if job.cache == "cold":
-        clear_shared_caches()
-        _ENGINES.clear()
-    engine = _engine_for(job.engine, job.cache)
+        _SESSIONS.clear()
+    session = _session_for(job.engine, job.cache)
     kernel = KERNEL_CONFIGS[job.kernel]
     start = time.perf_counter()
-    result = run_scenario(scenario, engine=engine, kernel=kernel)
+    decision = session.run_scenario(scenario, kernel=kernel)
     seconds = time.perf_counter() - start
-    return {
+    decision.meta.update({
         "scenario": job.scenario,
         "kind": scenario.kind,
         "engine": job.engine,
         "kernel": job.kernel,
         "cache": job.cache,
-        "verdict": result["verdict"],
-        "ok": result["ok"],
         "seconds": round(seconds, 6),
-        "stats": result["stats"],
         "pid": os.getpid(),
-    }
+    })
+    return decision.without_payload()
 
 
-def _warm_scenario(name: str) -> None:
-    """Pre-build the process-wide caches one scenario's jobs will hit,
-    via the ``shared_*`` factories (decision kinds only -- evaluation
-    scenarios warm through the per-engine plan cache on first run).
-
-    The union whose per-disjunct query automata get warmed is the one
-    the decision procedure actually constructs: containment payloads
-    carry it, equivalence unfolds its nonrecursive program, and the
-    boundedness search probes the expansion unions of every depth up
-    to its ``max_depth``.  Without this, the first kernel's recorded
-    seconds would absorb one-time kernel-neutral automaton
-    construction that later kernels reuse for free.
-    """
-    scenario = get_scenario(name)
-    if scenario.kind not in DECISION_KINDS:
-        return
-    payload = scenario.build()
-    program, goal = payload["program"], payload["goal"]
-    unions = []
-    if scenario.kind == "containment":
-        unions.append(payload["union"])
-    elif scenario.kind == "equivalence":
-        unions.append(unfold_nonrecursive(
-            payload["nonrecursive"],
-            payload.get("nonrecursive_goal") or goal))
-    elif scenario.kind == "boundedness":
-        unions.extend(
-            expansion_union(program, goal, depth)
-            for depth in range(1, payload.get("max_depth", 3) + 1))
-    warm_shared_caches(program, goal)
-    for union in unions:
-        warm_shared_caches(program, goal, union)
+def execute_job(job: Job) -> Dict:
+    """Run one job and return its JSON-serializable trajectory record
+    (the :meth:`~repro.session.Decision.record` of
+    :func:`run_decision` -- kept for callers that want plain dicts)."""
+    return run_decision(job).record()
 
 
-def run_shard(jobs: Sequence[Job]) -> List[Dict]:
+def run_shard(jobs: Sequence[Job]) -> List[Decision]:
     """Execute a shard of jobs in the current process, in order.
 
-    In warm mode each scenario's shared caches are pre-built once
-    (before its first job) so the recorded per-job seconds are
-    steady-state; cold jobs clear the caches themselves in
-    :func:`execute_job`.
+    In warm mode each scenario's session caches are pre-built once
+    (before its first job, via :meth:`~repro.session.Session.warm`) so
+    the recorded per-job seconds are steady-state -- without this, the
+    first kernel's seconds would absorb one-time kernel-neutral
+    automaton construction that later kernels reuse for free.  Cold
+    jobs get fresh sessions in :func:`run_decision` instead.
     """
-    records: List[Dict] = []
+    decisions: List[Decision] = []
     warmed: set = set()
     for job in jobs:
         if job.cache == "warm" and job.scenario not in warmed:
-            _warm_scenario(job.scenario)
+            _session_for(job.engine, job.cache).warm(scenario=job.scenario)
             warmed.add(job.scenario)
-        records.append(execute_job(job))
-    return records
+        decisions.append(run_decision(job))
+    return decisions
 
 
 def shard_jobs(jobs: Sequence[Job], workers: int) -> List[List[Job]]:
@@ -261,9 +244,12 @@ def shard_jobs(jobs: Sequence[Job], workers: int) -> List[List[Job]]:
     return [shard for shard in shards if shard]
 
 
-def run_batch(jobs: Sequence[Job], workers: int = 1) -> List[Dict]:
+def run_batch(jobs: Sequence[Job], workers: int = 1) -> List[Decision]:
     """Execute *jobs*, serially (``workers <= 1``) or sharded across a
-    process pool, returning records **in job order** either way."""
+    process pool, returning :class:`~repro.session.Decision` objects
+    **in job order** either way.  Decisions are dict-compatible, so
+    consumers index ``record["verdict"]`` etc. unchanged; call
+    ``.record()`` for a plain JSON dict."""
     jobs = list(jobs)
     if workers <= 1:
         records = run_shard(jobs)

@@ -25,9 +25,10 @@ kind             verdict (JSON-serializable, process-independent)
 
 ``run_scenario(scenario, engine=..., kernel=...)`` executes a scenario
 under an explicit :class:`~repro.datalog.engine.Engine` and
-:class:`~repro.automata.kernel.KernelConfig` and returns a result dict
-``{"verdict": ..., "ok": verdict == expected, "stats": ...}``; the
-caller owns timing and cache lifecycle.  Scenarios are rebuilt from
+:class:`~repro.automata.kernel.KernelConfig` and returns the ambient
+session's :class:`~repro.session.Decision` -- dict-compatible, so
+``result["verdict"]`` / ``result["ok"]`` / ``result["stats"]`` read as
+before; the caller owns cache lifecycle.  Scenarios are rebuilt from
 the registry *by name* inside worker processes, so nothing here needs
 to pickle beyond the name strings.
 
@@ -38,7 +39,6 @@ to pickle beyond the name strings.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
@@ -59,9 +59,10 @@ from ..programs.library import (
     widget_certified,
     widget_certified_rewriting,
 )
-from ..core.boundedness import decide_boundedness
-from ..core.containment import contained_in_ucq
-from ..core.equivalence import is_equivalent_to_nonrecursive
+from ..core.boundedness import search_boundedness
+from ..core.containment import decide_containment_in_ucq
+from ..core.equivalence import decide_equivalence
+from ..session import rows_checksum
 from . import generators as gen
 
 KINDS = ("containment", "equivalence", "boundedness", "evaluation", "magic")
@@ -167,36 +168,30 @@ def scenario_names(kind: Optional[str] = None,
     )
 
 
-def rows_checksum(rows) -> str:
-    """A process-independent digest of a relation.
-
-    Rows are normalized to plain-value tuples (engine rows hold
-    :class:`~repro.datalog.terms.Constant` objects; structural ground
-    truth holds bare strings) and sorted, so the digest agrees between
-    the engine under test and the graph-walk oracle, across processes
-    and ``PYTHONHASHSEED`` values.
-    """
-    normalized = sorted(
-        tuple(getattr(value, "value", value) for value in row)
-        for row in rows
-    )
-    return hashlib.sha1(repr(normalized).encode()).hexdigest()[:16]
+# ``rows_checksum`` is canonically defined on the session layer (it is
+# the ``checksum`` hook of every evaluation Decision); re-exported here
+# because the registry's ground-truth builders are its heaviest users.
 
 
 # ----------------------------------------------------------------------
 # Per-kind execution.
+#
+# The runners call the ``decide_*`` implementations with explicit
+# engine/kernel configuration; :meth:`repro.session.Session.run_scenario`
+# invokes them inside the session's activation, so the shared caches
+# they touch resolve to that session's scope.
 # ----------------------------------------------------------------------
 
 def _run_containment(payload, engine, kernel):
-    result = contained_in_ucq(payload["program"], payload["goal"],
-                              payload["union"],
-                              method=payload.get("method", "auto"),
-                              kernel=kernel)
+    result = decide_containment_in_ucq(payload["program"], payload["goal"],
+                                       payload["union"],
+                                       method=payload.get("method", "auto"),
+                                       kernel=kernel)
     return {"contained": result.contained}, dict(result.stats)
 
 
 def _run_equivalence(payload, engine, kernel):
-    result = is_equivalent_to_nonrecursive(
+    result = decide_equivalence(
         payload["program"], payload["nonrecursive"], payload["goal"],
         nonrecursive_goal=payload.get("nonrecursive_goal"),
         engine=engine, kernel=kernel,
@@ -208,7 +203,7 @@ def _run_equivalence(payload, engine, kernel):
 
 
 def _run_boundedness(payload, engine, kernel):
-    result = decide_boundedness(payload["program"], payload["goal"],
+    result = search_boundedness(payload["program"], payload["goal"],
                                 max_depth=payload.get("max_depth", 3),
                                 engine=engine, kernel=kernel)
     return {"bounded": result.bounded, "depth": result.depth}, {}
@@ -252,20 +247,21 @@ def kind_runner(kind: str) -> Callable:
 
 def run_scenario(scenario: Scenario,
                  engine: Optional[Engine] = None,
-                 kernel: Optional[KernelConfig] = None) -> Dict:
+                 kernel: Optional[KernelConfig] = None):
     """Execute *scenario* and check its verdict against ground truth.
 
-    Returns ``{"verdict": dict, "ok": bool, "stats": dict}``.  The
-    engine/kernel default to the process defaults; timing and cache
-    lifecycle belong to the caller (:mod:`repro.runner`).
+    Delegates to the ambient session
+    (:meth:`repro.session.Session.run_scenario`) and returns its
+    :class:`~repro.session.Decision` -- dict-compatible, so
+    ``result["verdict"]`` / ``result["ok"]`` / ``result["stats"]``
+    keep working.  ``engine``/``kernel`` override the session's
+    configuration for this run; cache lifecycle belongs to the caller
+    (:mod:`repro.runner`).
     """
-    payload = scenario.build()
-    verdict, stats = _RUNNERS[scenario.kind](payload, engine, kernel)
-    return {
-        "verdict": verdict,
-        "ok": verdict == dict(scenario.expected),
-        "stats": stats,
-    }
+    from ..session import current_session
+
+    return current_session().run_scenario(scenario, engine=engine,
+                                          kernel=kernel)
 
 
 # ----------------------------------------------------------------------
