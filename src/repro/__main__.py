@@ -13,6 +13,9 @@ subcommand     what it does
 ``eval``       bottom-up evaluation of a program over a facts file
 ``scenarios``  the scenario-matrix batch runner (the former
                ``python -m repro.runner`` CLI, unchanged flags)
+``fuzz``       the differential fuzz sweep (:mod:`repro.fuzz`): random
+               programs/EDBs through every backend x strategy x kernel,
+               divergences delta-debugged to minimized regression files
 ``bench``      the trajectory benchmark suites
                (``benchmarks/run_bench.py``)
 ``bench-check``  the perf-regression smoke guard
@@ -32,6 +35,7 @@ Examples::
         --union-depth 2
     python -m repro eval --program tc.dl --db facts.dl --goal p
     python -m repro scenarios --scenarios tag:bench --workers 4
+    python -m repro fuzz --seed 0 --iterations 50
     python -m repro bench --smoke --out /tmp/bench-smoke
     python -m repro bench-check --baseline BENCH_plans.json \\
         --candidate /tmp/bench-smoke/BENCH_plans.json
@@ -168,6 +172,29 @@ def _parser() -> argparse.ArgumentParser:
                        help="stage bound (the paper's Q^i semantics)")
     _add_config_flags(evalp)
 
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzz sweep; exits 1 on any divergence")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="base seed of the deterministic case stream "
+                           "(default: 0)")
+    fuzz.add_argument("--iterations", type=int, default=50,
+                      help="number of cases to draw (default: 50)")
+    fuzz.add_argument("--matrix", choices=("full", "quick"), default="full",
+                      help="evaluation matrix: full = every backend x "
+                           "strategy, quick = one strategy per backend")
+    fuzz.add_argument("--shrink", dest="shrink", action="store_true",
+                      default=True,
+                      help="delta-debug failures to minimal reproducers "
+                           "(default)")
+    fuzz.add_argument("--no-shrink", dest="shrink", action="store_false",
+                      help="record raw failing cases without minimizing")
+    fuzz.add_argument("--max-failures", type=int, default=1,
+                      help="stop after this many diverging cases "
+                           "(default: 1)")
+    fuzz.add_argument("--out", type=Path, default=None,
+                      help="directory for minimized regression files "
+                           "(default: tests/regressions/ of the checkout)")
+
     sub.add_parser(
         "scenarios", add_help=False,
         help="scenario-matrix batch runner (flags of python -m "
@@ -233,6 +260,27 @@ def _cmd_eval(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz import run_fuzz
+
+    report = run_fuzz(seed=args.seed, iterations=args.iterations,
+                      matrix=args.matrix, shrink=args.shrink,
+                      out_dir=args.out, max_failures=args.max_failures)
+    kinds = ", ".join(f"{kind}={count}"
+                      for kind, count in sorted(report.by_kind.items()))
+    print(f"fuzz: seed={report.seed} cases={report.cases_run} "
+          f"matrix={report.matrix} ({kinds})")
+    if report.ok:
+        print("fuzz: all cells agree on every case")
+        return 0
+    for divergence in report.divergences:
+        print(f"fuzz: DIVERGENCE {divergence.describe()}", file=sys.stderr)
+    for case, path in zip(report.minimized, report.written):
+        print(f"fuzz: minimized reproducer ({len(case.program.rules)} "
+              f"rules) written to {path}", file=sys.stderr)
+    return 1
+
+
 def _run_bench_script(script: str, argv: List[str]) -> int:
     """Execute a benchmarks/ harness script in-process (they live in
     the checkout, not the package -- located via the repo root)."""
@@ -271,6 +319,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_decide(args)
         if args.command == "eval":
             return _cmd_eval(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

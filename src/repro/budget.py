@@ -1,0 +1,106 @@
+"""Wall-clock budgets for provably-infeasible decision instances.
+
+The ``tag:stress`` scenario tier (:mod:`repro.workloads.stress`) runs
+the paper's lower-bound constructions *as workloads*: instances that
+are EXPSPACE- or 2EXPTIME-hard **by construction** (Sections 5.3 and
+6), so no kernel finishes them and "ran out of budget" *is* the
+expected, paper-faithful verdict.  :func:`time_budget` delivers that
+verdict deterministically: the protected block either completes or
+raises :class:`BudgetExhausted` after the given number of seconds.
+
+Implementation notes (each is load-bearing):
+
+* ``signal.setitimer`` + ``SIGALRM`` is the only way to interrupt a
+  pure-Python decision procedure mid-flight without threading the
+  deadline through every loop.  Signals are delivered to the main
+  thread only, and the batch runner's worker processes run their
+  shards in their main thread, so every scenario execution path
+  (pytest, CLI, process pool) is coverable.
+* Off the main thread -- or on a platform without ``setitimer`` --
+  the budget cannot interrupt, so the block runs unbudgeted.  Callers
+  that schedule budgeted scenarios on helper threads own that risk;
+  every in-repo runner stays on main threads.
+* The previous ``SIGALRM`` disposition and any pending itimer are
+  restored on exit, so nested budgets compose (the inner budget wins
+  while active, the outer one resumes with its remaining time).
+* The itimer is armed with a small *repeat interval*, not one-shot.
+  CPython discards exceptions that escape a ``gc.callbacks`` hook
+  (they go to ``sys.unraisablehook``), so a handler raise that lands
+  while the main thread happens to be inside a GC callback -- e.g.
+  Hypothesis' ``gc_cumulative_time`` hook -- is silently swallowed; a
+  one-shot alarm is then spent and the block runs forever.  The
+  interval re-fires until one raise lands in an interruptible frame.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+class BudgetExhausted(Exception):
+    """Raised inside a :func:`time_budget` block when the wall-clock
+    budget runs out."""
+
+    def __init__(self, seconds: float):
+        super().__init__(f"wall-clock budget of {seconds}s exhausted")
+        self.seconds = seconds
+
+
+def budgets_enforceable() -> bool:
+    """True when :func:`time_budget` can actually interrupt here:
+    main thread, and the platform has ``signal.setitimer``."""
+    return (
+        hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def time_budget(seconds: Optional[float]) -> Iterator[None]:
+    """Run the block under a wall-clock budget of *seconds*.
+
+    ``None`` (or a non-positive value) disables the budget.  When the
+    budget fires, :class:`BudgetExhausted` propagates out of the block;
+    when enforcement is unavailable (non-main thread, no ``setitimer``)
+    the block runs unbudgeted -- see the module docstring.
+    """
+    if seconds is None or seconds <= 0 or not budgets_enforceable():
+        yield
+        return
+
+    def _expire(signum, frame):
+        raise BudgetExhausted(seconds)
+
+    # Repeat interval: a raise that lands inside a GC callback is
+    # swallowed by the interpreter (see module docstring), so keep
+    # ticking until one raise sticks.
+    interval = min(0.1, float(seconds))
+    previous_handler = signal.signal(signal.SIGALRM, _expire)
+    previous_timer = signal.setitimer(
+        signal.ITIMER_REAL, float(seconds), interval
+    )
+    try:
+        yield
+    finally:
+        while True:
+            try:
+                remaining = signal.setitimer(signal.ITIMER_REAL, 0.0)[0]
+                break
+            except BudgetExhausted:
+                # A tick landed between the block ending and the
+                # disarm; the block's outcome is already decided.
+                continue
+        signal.signal(signal.SIGALRM, previous_handler)
+        outer = previous_timer[0]
+        if outer > 0:
+            # Resume an enclosing budget with the time it has left
+            # (what it had when we started, minus what this block used).
+            used = max(0.0, seconds - remaining) if remaining else seconds
+            signal.setitimer(
+                signal.ITIMER_REAL,
+                max(0.001, outer - used),
+                min(0.1, outer),
+            )

@@ -1,0 +1,76 @@
+"""``repro.fuzz`` -- the differential fuzz subsystem.
+
+Three layers, one loop:
+
+* :mod:`~repro.fuzz.harness` draws seed-deterministic random cases
+  (programs from :mod:`repro.workloads.generators`, EDBs from the six
+  edge families) and runs each through the full configuration matrix
+  -- every evaluation backend x strategy against the interpretive
+  naive oracle, both automaton kernels against the frozenset
+  reference and the constructed ground truth;
+* :mod:`~repro.fuzz.shrinker` delta-debugs a diverging case to a
+  1-minimal reproducer (rules, body atoms, facts, union disjuncts);
+* :mod:`~repro.fuzz.regressions` persists the minimized case as a
+  self-contained JSON scenario under ``tests/regressions/`` that
+  round-trips into the scenario registry as a permanent test.
+
+:func:`~repro.fuzz.sweep.run_fuzz` composes them; ``python -m repro
+fuzz`` and the CI fuzz job are thin wrappers around it.  See
+``docs/FUZZING.md`` for the operational story.
+"""
+
+from .harness import (
+    EVAL_BASELINE,
+    EVAL_MATRIX,
+    EVAL_MATRIX_QUICK,
+    KERNEL_BASELINE,
+    KERNEL_MATRIX,
+    KIND_ROTATION,
+    Divergence,
+    FuzzCase,
+    baseline_verdict,
+    decision_verdict,
+    draw_case,
+    evaluation_verdict,
+    run_case,
+)
+from .regressions import (
+    case_from_dict,
+    case_to_dict,
+    default_regressions_dir,
+    load_regression,
+    register_regressions,
+    scenario_from_case,
+    write_regression,
+)
+from .shrinker import ddmin, shrink_case, shrink_divergence, still_diverges
+from .sweep import FuzzReport, run_fuzz
+
+__all__ = [
+    "EVAL_BASELINE",
+    "EVAL_MATRIX",
+    "EVAL_MATRIX_QUICK",
+    "KERNEL_BASELINE",
+    "KERNEL_MATRIX",
+    "KIND_ROTATION",
+    "Divergence",
+    "FuzzCase",
+    "FuzzReport",
+    "baseline_verdict",
+    "case_from_dict",
+    "case_to_dict",
+    "ddmin",
+    "decision_verdict",
+    "default_regressions_dir",
+    "draw_case",
+    "evaluation_verdict",
+    "load_regression",
+    "register_regressions",
+    "run_case",
+    "run_fuzz",
+    "scenario_from_case",
+    "shrink_case",
+    "shrink_divergence",
+    "still_diverges",
+    "write_regression",
+]

@@ -1,0 +1,344 @@
+"""The differential fuzz harness: seed-deterministic cases, full
+config matrix, reference oracles.
+
+A :class:`FuzzCase` is one drawn workload: a random program
+(:func:`repro.workloads.generators.random_program` and the labeled
+decision families) plus, for evaluation cases, an EDB drawn from the
+six edge families (chain / grid / star / random / power-law /
+road-network).  :func:`run_case` executes the case through the full
+configuration matrix and reports every :class:`Divergence`:
+
+* **evaluation** cases run every engine cell of :data:`EVAL_MATRIX`
+  (backend x strategy) and compare the complete fixpoint -- per-IDB
+  row counts and process-independent row checksums -- against the
+  interpretive naive engine, the repo's reference semantics;
+* **decision** cases (containment / boundedness / equivalence) run
+  both automaton kernels and compare verdicts against the frozenset
+  reference kernel *and* against the ground truth the generator
+  attached by construction.
+
+Everything is deterministic in ``(seed, index)``: the same draw on any
+machine yields byte-identical programs, databases, and expected
+verdicts, so a CI failure replays locally from its seed alone.
+
+The ``mutate`` hook exists for the harness's own test: it intercepts
+each computed verdict (``mutate(case, label, verdict) -> verdict``),
+so a planted corruption must be caught as a divergence and must
+survive shrinking (``tests/test_fuzz.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..automata.kernel import KernelConfig
+from ..cq.query import UnionOfConjunctiveQueries
+from ..datalog.database import Database
+from ..datalog.engine import Engine, EngineConfig
+from ..datalog.parser import parse_program
+from ..datalog.program import Program
+from ..datalog.unfold import expansion_union
+from ..session import rows_checksum
+from ..workloads import generators as gen
+from ..workloads.scenarios import kind_runner
+
+#: Engine cells of the evaluation differential (label -> config).
+#: ``interpretive-naive`` is the oracle: the per-tuple evaluator
+#: running plain naive rounds -- the most elementary semantics in the
+#: repo, against which every compiled/columnar/semi-naive cell must
+#: agree bit-for-bit.
+EVAL_MATRIX: Dict[str, EngineConfig] = {
+    "interpretive-naive": EngineConfig(compiled=False, strategy="naive"),
+    "interpretive-seminaive": EngineConfig(compiled=False,
+                                           strategy="seminaive"),
+    "rows-naive": EngineConfig(compiled=True, backend="rows",
+                               strategy="naive"),
+    "rows-seminaive": EngineConfig(compiled=True, backend="rows",
+                                   strategy="seminaive"),
+    "columnar-naive": EngineConfig(compiled=True, backend="columnar",
+                                   strategy="naive"),
+    "columnar-seminaive": EngineConfig(compiled=True, backend="columnar",
+                                       strategy="seminaive"),
+}
+
+EVAL_BASELINE = "interpretive-naive"
+
+#: The quick matrix: one strategy per backend (what ``--matrix quick``
+#: selects; the full matrix is the default).
+EVAL_MATRIX_QUICK = {
+    label: config for label, config in EVAL_MATRIX.items()
+    if label.endswith("-seminaive") or label == EVAL_BASELINE
+}
+
+#: Kernel cells of the decision differential.  ``frozenset`` is the
+#: reference kernel and the baseline.
+KERNEL_MATRIX: Dict[str, KernelConfig] = {
+    "frozenset": KernelConfig(backend="frozenset"),
+    "bitset": KernelConfig(backend="bitset"),
+}
+
+KERNEL_BASELINE = "frozenset"
+
+#: Case kinds in draw rotation: evaluation every other draw (it has
+#: the widest config matrix), the three decision kinds interleaved.
+KIND_ROTATION = ("evaluation", "containment", "evaluation",
+                 "boundedness", "evaluation", "equivalence")
+
+
+@dataclass
+class FuzzCase:
+    """One drawn differential workload (self-describing and
+    reconstructible: ``seed``/``index`` replay the draw)."""
+
+    name: str
+    kind: str
+    seed: int
+    index: int
+    program: Program
+    goal: str
+    database: Optional[Database] = None
+    union: Optional[UnionOfConjunctiveQueries] = None
+    nonrecursive: Optional[Program] = None
+    nonrecursive_goal: Optional[str] = None
+    max_depth: int = 3
+    #: Ground truth attached by the generator's construction, or None
+    #: when only cross-cell agreement is checkable (evaluation cases).
+    expected: Optional[Dict] = None
+    meta: Dict = field(default_factory=dict)
+
+
+@dataclass
+class Divergence:
+    """One observed mismatch: a matrix cell whose verdict differs from
+    the baseline cell (``against="baseline"``) or a baseline verdict
+    contradicting the constructed ground truth
+    (``against="expected"``)."""
+
+    case: FuzzCase
+    label: str
+    against: str
+    verdict: Dict
+    reference: Dict
+
+    def describe(self) -> str:
+        return (f"{self.case.name}: cell {self.label!r} diverges from "
+                f"{self.against} ({_verdict_diff(self.verdict, self.reference)})")
+
+
+def _verdict_diff(verdict: Dict, reference: Dict) -> str:
+    keys = sorted(set(verdict) | set(reference))
+    parts = [f"{key}: {verdict.get(key)!r} != {reference.get(key)!r}"
+             for key in keys if verdict.get(key) != reference.get(key)]
+    return "; ".join(parts) or "identical (?)"
+
+
+# ----------------------------------------------------------------------
+# Case drawing.
+# ----------------------------------------------------------------------
+
+def _case_rng(seed: int, index: int) -> Tuple[int, random.Random]:
+    sub = (seed * 1_000_003 + index) & 0x7FFFFFFF
+    return sub, random.Random(sub)
+
+
+def _draw_edges(rng: random.Random, sub: int) -> List[Tuple[str, str]]:
+    family = rng.randrange(6)
+    if family == 0:
+        return gen.chain_edges(rng.randint(3, 24))
+    if family == 1:
+        return gen.grid_edges(rng.randint(2, 5), rng.randint(2, 5))
+    if family == 2:
+        return gen.star_edges(rng.randint(2, 4), rng.randint(2, 5))
+    if family == 3:
+        return gen.random_graph_edges(rng.randint(4, 12),
+                                      rng.randint(6, 30), seed=sub)
+    if family == 4:
+        return gen.power_law_edges(rng.randint(5, 14),
+                                   rng.randint(8, 40), seed=sub)
+    return gen.road_network_edges(rng.randint(2, 4), rng.randint(2, 4),
+                                  seed=sub)
+
+
+def _truncation_rewriting(program: Program) -> Program:
+    """The depth-2 truncation of an :func:`unbounded_program` instance
+    (its recursive call replaced by the base relation): backward
+    containment holds (every disjunct is an expansion), forward fails
+    (length-2 chains are not covered) -- ground truth by the
+    transitive-closure argument of the paper's Example 1.1 analysis."""
+    edge = next(
+        atom.predicate
+        for rule in program.rules
+        for atom in rule.body
+        if atom.predicate not in program.idb_predicates
+        and atom.predicate != "base"
+    )
+    return parse_program(
+        f"""
+        p(X, Y) :- base(X, Y).
+        p(X, Y) :- {edge}(X, Z), base(Z, Y).
+        """
+    )
+
+
+def draw_case(seed: int, index: int) -> FuzzCase:
+    """The deterministic case for ``(seed, index)``.
+
+    Kinds rotate through :data:`KIND_ROTATION`; every random draw
+    comes from ``Random(seed * 1_000_003 + index)``, so the case --
+    program, EDB, expected verdict -- is identical on every machine
+    and Python version.
+    """
+    sub, rng = _case_rng(seed, index)
+    kind = KIND_ROTATION[index % len(KIND_ROTATION)]
+    name = f"fuzz_{kind}_s{seed}_i{index}"
+
+    if kind == "evaluation":
+        program = gen.random_program(sub, max_rules=4)
+        edges = _draw_edges(rng, sub)
+        predicates = tuple(sorted(program.edb_predicates)) or ("edge",)
+        database = gen.edges_database(edges, predicates)
+        return FuzzCase(name=name, kind=kind, seed=seed, index=index,
+                        program=program, goal="p", database=database,
+                        meta={"edges": len(edges),
+                              "predicates": list(predicates)})
+
+    if kind == "containment":
+        shape = rng.randrange(3)
+        if shape == 0:
+            body = rng.randint(1, 2)
+            program = gen.sirup(body, seed=sub)
+            union = gen.sirup_covering_union(body, seed=sub)
+            expected = {"contained": True}
+        elif shape == 1:
+            body = rng.randint(1, 2)
+            program = gen.sirup(body, seed=sub)
+            covering = list(gen.sirup_covering_union(body, seed=sub))
+            union = UnionOfConjunctiveQueries(covering[1:])
+            expected = {"contained": False}
+        else:
+            program = gen.unbounded_program(seed=sub)
+            union = expansion_union(program, "p", rng.randint(1, 2))
+            expected = {"contained": False}
+        return FuzzCase(name=name, kind=kind, seed=seed, index=index,
+                        program=program, goal="p", union=union,
+                        expected=expected, meta={"shape": shape})
+
+    if kind == "boundedness":
+        if rng.random() < 0.5:
+            program = gen.bounded_program(rng.randint(1, 3), seed=sub)
+            expected = {"bounded": True, "depth": 2}
+        else:
+            program = gen.unbounded_program(seed=sub)
+            expected = {"bounded": None, "depth": None}
+        return FuzzCase(name=name, kind=kind, seed=seed, index=index,
+                        program=program, goal="p", max_depth=3,
+                        expected=expected)
+
+    # equivalence
+    if rng.random() < 0.5:
+        guards = rng.randint(1, 3)
+        program = gen.bounded_program(guards, seed=sub)
+        nonrecursive = gen.bounded_rewriting(guards, seed=sub)
+        expected = {"equivalent": True, "forward": True, "backward": True}
+    else:
+        program = gen.unbounded_program(seed=sub)
+        nonrecursive = _truncation_rewriting(program)
+        expected = {"equivalent": False, "forward": False, "backward": True}
+    return FuzzCase(name=name, kind=kind, seed=seed, index=index,
+                    program=program, goal="p", nonrecursive=nonrecursive,
+                    expected=expected)
+
+
+# ----------------------------------------------------------------------
+# Differential execution.
+# ----------------------------------------------------------------------
+
+#: One shared engine for the decision kinds' evaluation probes (the
+#: kernel is the differential axis there, not the engine).
+_PROBE_ENGINE = Engine(EngineConfig())
+
+
+def evaluation_verdict(case: FuzzCase, config: EngineConfig) -> Dict:
+    """The complete-fixpoint verdict of *case* on one engine cell:
+    per-IDB-predicate row counts and checksums, plus the fixpoint
+    flag.  A fresh engine per call keeps plan caches from leaking
+    state between cells."""
+    result = Engine(config).evaluate(case.program, case.database)
+    verdict: Dict = {"fixpoint": result.fixpoint}
+    for predicate in sorted(case.program.idb_predicates):
+        rows = result.facts(predicate)
+        verdict[predicate] = {"count": len(rows),
+                              "checksum": rows_checksum(rows)}
+    return verdict
+
+
+def decision_verdict(case: FuzzCase, kernel: KernelConfig) -> Dict:
+    """The verdict of a decision case on one kernel cell, via the same
+    kind runners the scenario registry uses."""
+    payload: Dict = {"program": case.program, "goal": case.goal}
+    if case.kind == "containment":
+        payload["union"] = case.union
+    elif case.kind == "equivalence":
+        payload["nonrecursive"] = case.nonrecursive
+        payload["nonrecursive_goal"] = case.nonrecursive_goal
+    elif case.kind == "boundedness":
+        payload["max_depth"] = case.max_depth
+    verdict, _stats = kind_runner(case.kind)(payload, _PROBE_ENGINE, kernel)
+    return verdict
+
+
+Mutator = Callable[[FuzzCase, str, Dict], Dict]
+
+
+def run_case(case: FuzzCase, *, matrix: str = "full",
+             mutate: Optional[Mutator] = None,
+             ) -> Tuple[Dict[str, Dict], List[Divergence]]:
+    """Run *case* through its configuration matrix.
+
+    Returns ``(verdicts, divergences)``: the per-cell verdicts and
+    every mismatch -- cells against the baseline cell, and the
+    baseline against the case's constructed ground truth when the
+    generator attached one.
+    """
+    verdicts: Dict[str, Dict] = {}
+    if case.kind == "evaluation":
+        cells = EVAL_MATRIX if matrix == "full" else EVAL_MATRIX_QUICK
+        baseline_label = EVAL_BASELINE
+        for label, config in cells.items():
+            verdict = evaluation_verdict(case, config)
+            verdicts[label] = mutate(case, label, verdict) if mutate else verdict
+    else:
+        baseline_label = KERNEL_BASELINE
+        for label, kernel in KERNEL_MATRIX.items():
+            verdict = decision_verdict(case, kernel)
+            verdicts[label] = mutate(case, label, verdict) if mutate else verdict
+
+    divergences: List[Divergence] = []
+    baseline = verdicts[baseline_label]
+    for label, verdict in verdicts.items():
+        if label != baseline_label and verdict != baseline:
+            divergences.append(Divergence(case=case, label=label,
+                                          against="baseline",
+                                          verdict=verdict,
+                                          reference=baseline))
+    if case.expected is not None and baseline != case.expected:
+        divergences.append(Divergence(case=case, label=baseline_label,
+                                      against="expected",
+                                      verdict=baseline,
+                                      reference=dict(case.expected)))
+    return verdicts, divergences
+
+
+def baseline_verdict(case: FuzzCase) -> Dict:
+    """The reference cell's verdict for *case* (used as the recorded
+    ground truth of minimized regression scenarios)."""
+    if case.kind == "evaluation":
+        return evaluation_verdict(case, EVAL_MATRIX[EVAL_BASELINE])
+    return decision_verdict(case, KERNEL_MATRIX[KERNEL_BASELINE])
+
+
+def with_program(case: FuzzCase, program: Program) -> FuzzCase:
+    """A copy of *case* with *program* swapped in (shrinker hook)."""
+    return replace(case, program=program)

@@ -20,6 +20,8 @@ from .turing import (
     simple_rejecting_machine,
     sweeping_machine,
     symbol_name,
+    tiny_accepting_machine,
+    tiny_rejecting_machine,
 )
 
 __all__ = [
@@ -40,6 +42,8 @@ __all__ = [
     "sweeping_machine",
     "symbol_name",
     "synthesize_trace_query",
+    "tiny_accepting_machine",
+    "tiny_rejecting_machine",
     "trace_addresses",
     "trace_database",
 ]

@@ -307,6 +307,35 @@ class AlternatingTuringMachine:
         return run(self._branch("left").initial_configuration(space), max_depth)
 
 
+def tiny_accepting_machine() -> TuringMachine:
+    """The smallest accepting machine (two states, one tape symbol:
+    step straight into qa).  Its cell alphabet has 3 symbols, so it
+    yields the smallest Section 5.3 / Section 6 encodings -- the
+    ``tag:stress`` tier uses it to pin the *minimum* instance size at
+    which the containment decisions are already infeasible."""
+    return TuringMachine(
+        states=frozenset({"q0", "qa"}),
+        tape_symbols=frozenset({"b"}),
+        blank="b",
+        initial_state="q0",
+        accepting_states=frozenset({"qa"}),
+        transitions={("q0", "b"): ("qa", "b", STAY)},
+    )
+
+
+def tiny_rejecting_machine() -> TuringMachine:
+    """The smallest non-accepting machine (one state, one tape symbol,
+    looping in place forever -- no accepting state at all)."""
+    return TuringMachine(
+        states=frozenset({"q0"}),
+        tape_symbols=frozenset({"b"}),
+        blank="b",
+        initial_state="q0",
+        accepting_states=frozenset(),
+        transitions={("q0", "b"): ("q0", "b", STAY)},
+    )
+
+
 def simple_accepting_machine() -> TuringMachine:
     """A machine that immediately accepts (writes and enters qa)."""
     return TuringMachine(

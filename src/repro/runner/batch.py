@@ -104,11 +104,12 @@ def build_jobs(scenarios: Sequence[str],
     offered (it would reintroduce the unfair sharing this layer
     exists to prevent).
 
-    Scenarios tagged ``scale`` (10^5-fact EDBs) drop the interpretive
-    engine from their matrix cells -- per-tuple evaluation takes
-    minutes there, and ``--scenarios all`` must stay runnable.  Asking
-    for *only* the interpretive engine is honored (an explicit
-    request), and the scale tier can always be excluded by tag.
+    Scenarios tagged ``scale`` (10^5-fact EDBs) or ``stress`` (the
+    lower-bound evaluation blow-ups) drop the interpretive engine from
+    their matrix cells -- per-tuple evaluation takes minutes there,
+    and ``--scenarios all`` must stay runnable.  Asking for *only* the
+    interpretive engine is honored (an explicit request), and both
+    tiers can always be excluded by tag.
     """
     if cache not in CACHE_MODES:
         raise ValueError(f"unknown cache mode {cache!r}; expected {CACHE_MODES}")
@@ -128,7 +129,7 @@ def build_jobs(scenarios: Sequence[str],
                         for kernel in kernels)
         else:
             scenario_engines = engines
-            if "scale" in scenario.tags:
+            if {"scale", "stress"} & set(scenario.tags):
                 compiled = [e for e in engines if e != "interpretive"]
                 scenario_engines = compiled or engines
             jobs.extend(Job(name, engine, kernels[0], cache)

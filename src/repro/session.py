@@ -47,6 +47,7 @@ from typing import Any, Dict, Iterator, Optional
 
 from . import context as _context
 from .automata.kernel import KernelConfig
+from .budget import BudgetExhausted, time_budget
 from .core import boundedness as _boundedness
 from .core import containment as _containment
 from .core import equivalence as _equivalence
@@ -643,18 +644,32 @@ class Session:
                      kernel: Optional[KernelConfig] = None) -> Decision:
         """Execute a registry scenario (by name or object) under this
         session and check its verdict against constructed ground truth
-        (``decision.ok``)."""
+        (``decision.ok``).
+
+        Scenarios carrying a ``budget_s`` (the ``tag:stress`` tier's
+        provably-infeasible lower-bound instances) run under a
+        wall-clock budget; when it fires the verdict is the
+        deterministic ``{"budget_exhausted": True}`` -- exactly what
+        such scenarios register as ground truth -- and the session's
+        caches are dropped, since the interrupt may have landed inside
+        a cache-entry construction.
+        """
         from .workloads import scenarios as _scenarios
 
         if isinstance(scenario, str):
             scenario = _scenarios.get_scenario(scenario)
+        budget = getattr(scenario, "budget_s", None)
         start = perf_counter()
         payload = scenario.build()
         build_s = perf_counter() - start
         start = perf_counter()
-        with self.activated():
-            verdict, stats = _scenarios.kind_runner(scenario.kind)(
-                payload, engine or self._engine, kernel or self.kernel)
+        try:
+            with self.activated(), time_budget(budget):
+                verdict, stats = _scenarios.kind_runner(scenario.kind)(
+                    payload, engine or self._engine, kernel or self.kernel)
+        except BudgetExhausted:
+            verdict, stats = {"budget_exhausted": True}, {"budget_s": budget}
+            self.clear_caches()
         decide_s = perf_counter() - start
         return self._decision(
             scenario.kind, verdict,
@@ -701,22 +716,28 @@ class Session:
             scenario = get_scenario(scenario)
         if scenario.kind not in DECISION_KINDS:
             return
-        payload = scenario.build()
-        program, goal = payload["program"], payload["goal"]
-        unions = []
-        if scenario.kind == "containment":
-            unions.append(payload["union"])
-        elif scenario.kind == "equivalence":
-            unions.append(unfold_nonrecursive(
-                payload["nonrecursive"],
-                payload.get("nonrecursive_goal") or goal))
-        elif scenario.kind == "boundedness":
-            unions.extend(
-                expansion_union(program, goal, depth)
-                for depth in range(1, payload.get("max_depth", 3) + 1))
-        _warm_caches(program, goal)
-        for union in unions:
-            _warm_caches(program, goal, union)
+        try:
+            # Warming is best-effort: a budgeted (tag:stress) scenario's
+            # caches may be as infeasible to build as its decision.
+            with time_budget(getattr(scenario, "budget_s", None)):
+                payload = scenario.build()
+                program, goal = payload["program"], payload["goal"]
+                unions = []
+                if scenario.kind == "containment":
+                    unions.append(payload["union"])
+                elif scenario.kind == "equivalence":
+                    unions.append(unfold_nonrecursive(
+                        payload["nonrecursive"],
+                        payload.get("nonrecursive_goal") or goal))
+                elif scenario.kind == "boundedness":
+                    unions.extend(
+                        expansion_union(program, goal, depth)
+                        for depth in range(1, payload.get("max_depth", 3) + 1))
+                _warm_caches(program, goal)
+                for union in unions:
+                    _warm_caches(program, goal, union)
+        except BudgetExhausted:
+            self.clear_caches()
 
     def clear_caches(self) -> None:
         """Return this session to a cold state: drop its cache scope

@@ -21,11 +21,13 @@ from .generators import (
     edges_database,
     grid_edges,
     guarded_chain,
+    power_law_edges,
     random_graph_edges,
     random_program,
     reachable_from,
     reachable_pair_count,
     reachable_pairs,
+    road_network_edges,
     same_depth_pair_count,
     same_depth_pairs,
     single_source_reach,
@@ -51,6 +53,7 @@ from .scenarios import (
     run_scenario,
     scenario_names,
 )
+from . import stress  # noqa: F401,E402  (registers the tag:stress tier)
 
 __all__ = [
     "DECISION_KINDS",
@@ -69,12 +72,14 @@ __all__ = [
     "grid_edges",
     "guarded_chain",
     "kind_runner",
+    "power_law_edges",
     "random_graph_edges",
     "random_program",
     "reachable_from",
     "reachable_pair_count",
     "reachable_pairs",
     "register",
+    "road_network_edges",
     "rows_checksum",
     "run_scenario",
     "same_depth_pair_count",

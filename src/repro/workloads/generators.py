@@ -47,8 +47,10 @@ EDB families
 ------------
 
 :func:`chain_edges`, :func:`tree_edges`, :func:`grid_edges`,
-:func:`random_graph_edges`, and :func:`star_edges` produce edge
-lists; :func:`edges_database` and :func:`tree_updown_database` turn
+:func:`random_graph_edges`, :func:`star_edges`,
+:func:`power_law_edges` (preferential attachment: hub-skewed degree
+profiles), and :func:`road_network_edges` (two-way street grids with
+closed roads and highway shortcuts) produce edge lists; :func:`edges_database` and :func:`tree_updown_database` turn
 them into :class:`~repro.datalog.database.Database` values; the
 structural oracles (:func:`reachable_pairs`, :func:`reachable_from`,
 :func:`two_hop_pairs`, :func:`same_depth_pairs` and the ``*_count``
@@ -350,6 +352,66 @@ def star_edges(rays: int, length: int) -> List[Edge]:
         for ray in range(rays)
         for i in range(length)
     ]
+
+
+def power_law_edges(nodes: int, edges: int, seed: int = 0) -> List[Edge]:
+    """*edges* distinct directed edges over *nodes* vertices with a
+    power-law degree profile (preferential attachment: targets are
+    drawn from a degree-weighted urn, so a few hubs collect most of
+    the in/out-degree).  Deterministic in *seed*; the skewed join
+    cardinalities are what the differential fuzz sweep uses to stress
+    the batch join kernels against the row-at-a-time reference."""
+    if nodes < 2:
+        raise ValueError("nodes must be >= 2")
+    rng = random.Random(seed)
+    names = [f"h{i}" for i in range(nodes)]
+    urn: List[int] = [0, 1]  # seed hubs; grows with every endpoint drawn
+    seen: Set[Edge] = set()
+    out: List[Edge] = []
+    target = min(edges, nodes * (nodes - 1))
+    attempts = 0
+    while len(out) < target and attempts < 50 * target + 100:
+        attempts += 1
+        a = urn[rng.randrange(len(urn))] if rng.random() < 0.5 else rng.randrange(nodes)
+        b = urn[rng.randrange(len(urn))] if rng.random() < 0.8 else rng.randrange(nodes)
+        if a == b or (names[a], names[b]) in seen:
+            continue
+        seen.add((names[a], names[b]))
+        out.append((names[a], names[b]))
+        urn.extend((a, b))
+    return out
+
+
+def road_network_edges(rows: int, cols: int, seed: int = 0) -> List[Edge]:
+    """A road-network-like graph: a *rows* x *cols* grid of two-way
+    streets with a deterministic 10% of segments missing (closed
+    roads) plus a handful of one-way long-range highways.  Unlike the
+    monotone :func:`grid_edges`, the two-way streets create cycles, so
+    reachability closures exercise the semi-naive frontier's
+    revisiting behaviour."""
+    rng = random.Random(seed)
+    edges: List[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            here = f"rd{r}_{c}"
+            if c + 1 < cols and rng.random() < 0.9:
+                edges.append((here, f"rd{r}_{c+1}"))
+                edges.append((f"rd{r}_{c+1}", here))
+            if r + 1 < rows and rng.random() < 0.9:
+                edges.append((here, f"rd{r+1}_{c}"))
+                edges.append((f"rd{r+1}_{c}", here))
+    for _ in range(max(1, (rows * cols) // 8)):
+        a = f"rd{rng.randrange(rows)}_{rng.randrange(cols)}"
+        b = f"rd{rng.randrange(rows)}_{rng.randrange(cols)}"
+        if a != b:
+            edges.append((a, b))
+    seen: Set[Edge] = set()
+    out: List[Edge] = []
+    for edge in edges:
+        if edge not in seen:
+            seen.add(edge)
+            out.append(edge)
+    return out
 
 
 def edges_database(edges: Iterable[Edge],

@@ -94,6 +94,14 @@ class Scenario:
     #: balancing hint for the batch runner's shard dealer -- never
     #: affects verdicts or ordering of results.
     weight: float = 1.0
+    #: Wall-clock budget in seconds, or None for unbudgeted.  The
+    #: ``tag:stress`` tier runs the paper's lower-bound instances --
+    #: EXPSPACE/2EXPTIME-hard *by construction* -- so exhausting the
+    #: budget is their expected verdict: when the budget fires,
+    #: :meth:`repro.session.Session.run_scenario` reports the verdict
+    #: ``{"budget_exhausted": True}``, which such scenarios register
+    #: as their ground truth (see :mod:`repro.workloads.stress`).
+    budget_s: Optional[float] = None
 
     def __post_init__(self):
         if self.kind not in KINDS:

@@ -1,0 +1,102 @@
+"""Wall-clock budgets (:mod:`repro.budget`): the SIGALRM context
+manager behind the ``tag:stress`` tier's deterministic
+``{"budget_exhausted": True}`` verdicts."""
+
+import gc
+import signal
+import time
+
+import pytest
+
+from repro.budget import BudgetExhausted, budgets_enforceable, time_budget
+from repro.session import Session
+from repro.workloads.scenarios import get_scenario
+
+
+def test_no_budget_is_a_no_op():
+    with time_budget(None):
+        pass
+    with time_budget(0):
+        pass
+    with time_budget(-1.0):
+        pass
+
+
+def test_budget_fires_on_overrun():
+    if not budgets_enforceable():
+        pytest.skip("SIGALRM budgets need the main thread + setitimer")
+    with pytest.raises(BudgetExhausted) as info:
+        with time_budget(0.05):
+            while True:
+                time.sleep(0.01)
+    assert info.value.seconds == 0.05
+
+
+def test_budget_does_not_fire_under_the_limit():
+    with time_budget(5.0):
+        total = sum(range(1000))
+    assert total == 499500
+    # The timer is disarmed afterwards: nothing fires later.
+    assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
+
+
+def test_nested_budgets_restore_the_outer_timer():
+    if not budgets_enforceable():
+        pytest.skip("SIGALRM budgets need the main thread + setitimer")
+    with time_budget(30.0):
+        with time_budget(0.05):
+            with pytest.raises(BudgetExhausted):
+                with time_budget(10.0):
+                    # The tightest enclosing budget wins even under a
+                    # looser inner one.
+                    while True:
+                        time.sleep(0.01)
+        remaining = signal.getitimer(signal.ITIMER_REAL)[0]
+        assert 0.0 < remaining <= 30.0  # the outer timer is back
+    assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
+
+
+@pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+def test_budget_survives_a_raise_swallowed_by_a_gc_callback():
+    """Exceptions escaping a ``gc.callbacks`` hook are discarded by the
+    interpreter (``sys.unraisablehook``), so an expiry that happens to
+    be processed inside one is lost.  Observed in the wild via
+    Hypothesis' ``gc_cumulative_time`` hook: the one-shot alarm was
+    spent and a 1.5s-budgeted scenario ran forever.  The repeat
+    interval must re-fire until a raise lands outside the callback."""
+    if not budgets_enforceable():
+        pytest.skip("SIGALRM budgets need the main thread + setitimer")
+
+    state = {"armed": True}
+
+    def swallowing_callback(phase, info):
+        # Busy-wait past the budget so the expiry raise is processed
+        # inside this frame -- and therefore swallowed.
+        if phase == "start" and state["armed"]:
+            state["armed"] = False
+            deadline = time.monotonic() + 0.4
+            while time.monotonic() < deadline:
+                pass
+
+    gc.callbacks.append(swallowing_callback)
+    started = time.monotonic()
+    try:
+        with pytest.raises(BudgetExhausted):
+            with time_budget(0.2):
+                gc.collect()  # the 0.2s expiry raises in the callback
+                while True:
+                    time.sleep(0.01)  # an interval tick must rescue us
+    finally:
+        gc.callbacks.remove(swallowing_callback)
+    assert time.monotonic() - started < 2.0
+
+
+def test_budgeted_scenario_reports_exhaustion_as_its_verdict():
+    if not budgets_enforceable():
+        pytest.skip("SIGALRM budgets need the main thread + setitimer")
+    scenario = get_scenario("stress_space_containment_n1")
+    assert scenario.budget_s is not None
+    session = Session(cache="private", name="budget-test")
+    result = session.run_scenario(scenario)
+    assert result["verdict"] == {"budget_exhausted": True}
+    assert result["ok"] is True  # exhaustion IS the expected verdict

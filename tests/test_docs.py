@@ -27,6 +27,7 @@ DOC_FILES = [
     "README.md",
     "docs/ARCHITECTURE.md",
     "docs/BENCHMARKS.md",
+    "docs/FUZZING.md",
     "docs/THEORY.md",
 ]
 

@@ -10,9 +10,13 @@ exactly the corrupted traces.
 
 import pytest
 
+from repro.automata.kernel import KernelConfig
+from repro.core.boundedness import search_boundedness
+from repro.core.containment import decide_containment_in_ucq
 from repro.cq.homomorphism import find_homomorphism
 from repro.datalog.analysis import is_linear, is_nonrecursive, is_recursive
-from repro.datalog.engine import evaluate
+from repro.datalog.engine import Engine, EngineConfig, evaluate
+from repro.datalog.unfold import expansion_union
 from repro.core.word_path import is_chain_program
 from repro.lowerbounds.encoding_nonrec import encode_nonrecursive, trace_database
 from repro.lowerbounds.encoding_space import (
@@ -20,7 +24,7 @@ from repro.lowerbounds.encoding_space import (
     encode_deterministic,
     trace_addresses,
 )
-from repro.lowerbounds.turing import sweeping_machine
+from repro.lowerbounds.turing import sweeping_machine, tiny_accepting_machine
 from repro.trees.expansion import unfolding_trees
 
 
@@ -224,3 +228,63 @@ class TestNonrecEncoding:
     def test_wrong_size_trace_rejected(self, machine, legal_trace):
         with pytest.raises(ValueError):
             trace_database(machine, [legal_trace[0][:2]], 1)
+
+
+# ----------------------------------------------------------------------
+# Verdicts, not just shapes: the decision procedures run on the
+# encoded machines at the sizes where they terminate, under both
+# automaton kernels.  (The full EXPSPACE containment questions are
+# infeasible by construction -- those live in the budgeted tag:stress
+# tier, repro.workloads.stress -- but the decidable edges give real
+# verdicts here.)
+# ----------------------------------------------------------------------
+
+BOTH_KERNELS = [KernelConfig(backend="bitset"),
+                KernelConfig(backend="frozenset")]
+
+
+class TestEncodingVerdicts:
+    @pytest.fixture(scope="class")
+    def tiny_enc(self):
+        return encode_deterministic(tiny_accepting_machine(), 1)
+
+    @pytest.mark.parametrize("kernel", BOTH_KERNELS, ids=lambda k: k.backend)
+    def test_space_encoding_is_unbounded(self, machine, kernel):
+        # The Section 5.3 chain program threads the counter through an
+        # unbounded recursion: no boundedness certificate exists at any
+        # depth, so the semi-decision must come back empty-handed.
+        enc = encode_deterministic(machine, 1)
+        result = search_boundedness(enc.program, "c", max_depth=1,
+                                    kernel=kernel)
+        assert result.bounded is None and result.depth is None
+
+    @pytest.mark.parametrize("kernel", BOTH_KERNELS, ids=lambda k: k.backend)
+    def test_space_encoding_not_contained_in_truncation(self, tiny_enc,
+                                                        kernel):
+        # Deeper expansions of the chain program exist (one per counter
+        # step), so Pi is not contained in its own depth-1 expansion
+        # union: the kernels must find the counterexample expansion.
+        # This is the largest containment question on the encodings
+        # that both kernels still answer (seconds-scale; the Theta
+        # direction of Theorem 5.13 is the budgeted stress tier).
+        result = decide_containment_in_ucq(
+            tiny_enc.program, "c",
+            expansion_union(tiny_enc.program, "c", 1),
+            kernel=kernel)
+        assert result.contained is False
+
+    @pytest.mark.parametrize("corrupt_at", [-1, 0])
+    def test_trace_verdict_matches_oracle_on_all_engines(self, corrupt_at):
+        # The Section 6 checker Pi' is itself an evaluation workload:
+        # a legal trace derives no error fact, a corrupted counter
+        # derives exactly c() -- on every engine backend.
+        m = sweeping_machine()
+        enc6 = encode_nonrecursive(m, 1, include_transition_errors=False)
+        configs = m.run_configurations(4)[:2]
+        db = trace_database(m, configs, 1, corrupt_counter_at=corrupt_at)
+        expected = 0 if corrupt_at < 0 else 1
+        for config in (EngineConfig(),
+                       EngineConfig(compiled=True, backend="rows"),
+                       EngineConfig(compiled=False)):
+            rows = Engine(config).query(enc6.nonrecursive, db, "c")
+            assert len(rows) == expected, config

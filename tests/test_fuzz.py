@@ -1,0 +1,188 @@
+"""The differential fuzz subsystem: determinism, the sweep, the
+shrinker, and the regression round-trip.
+
+The planted-divergence test is the subsystem's own acceptance check: a
+mutator corrupts one backend's verdicts, the sweep must catch it, the
+shrinker must reduce the failing case to a handful of rules, and the
+emitted file must (a) replay green through the unmutated matrix and
+(b) round-trip into the scenario registry as a passing scenario.
+"""
+
+import json
+
+import pytest
+
+from repro.fuzz import (
+    EVAL_MATRIX,
+    EVAL_MATRIX_QUICK,
+    KIND_ROTATION,
+    ddmin,
+    default_regressions_dir,
+    draw_case,
+    load_regression,
+    register_regressions,
+    run_case,
+    run_fuzz,
+)
+from repro.workloads.scenarios import REGISTRY, get_scenario, run_scenario
+
+
+# ----------------------------------------------------------------------
+# Drawing.
+# ----------------------------------------------------------------------
+
+def test_draws_are_deterministic():
+    for index in range(12):
+        first, second = draw_case(3, index), draw_case(3, index)
+        assert first.program == second.program
+        assert first.kind == second.kind == KIND_ROTATION[index % 6]
+        assert first.expected == second.expected
+        if first.database is not None:
+            assert first.database == second.database
+
+
+def test_draws_vary_with_seed_and_index():
+    programs = {str(draw_case(seed, index).program)
+                for seed in range(3) for index in range(6)}
+    assert len(programs) > 6  # not one degenerate draw repeated
+
+
+def test_matrix_shapes():
+    assert set(EVAL_MATRIX_QUICK) < set(EVAL_MATRIX)
+    assert "interpretive-naive" in EVAL_MATRIX_QUICK  # oracle always runs
+
+
+# ----------------------------------------------------------------------
+# The sweep (green path).
+# ----------------------------------------------------------------------
+
+def test_small_sweep_is_green(tmp_path):
+    report = run_fuzz(seed=0, iterations=12, out_dir=tmp_path)
+    assert report.ok
+    assert report.cases_run == 12
+    assert set(report.by_kind) == {"evaluation", "containment",
+                                   "boundedness", "equivalence"}
+    assert not list(tmp_path.iterdir())  # nothing written when green
+
+
+def test_quick_matrix_sweep_is_green(tmp_path):
+    report = run_fuzz(seed=2, iterations=6, matrix="quick",
+                      out_dir=tmp_path)
+    assert report.ok and report.matrix == "quick"
+
+
+# ----------------------------------------------------------------------
+# The shrinker.
+# ----------------------------------------------------------------------
+
+def test_ddmin_finds_minimal_subset():
+    calls = []
+
+    def failing(items):
+        calls.append(list(items))
+        return {3, 11} <= set(items)
+
+    assert sorted(ddmin(list(range(20)), failing)) == [3, 11]
+    assert calls  # really probed candidates
+
+
+def test_ddmin_single_culprit_and_empty():
+    assert ddmin(list(range(10)), lambda s: 7 in s) == [7]
+    assert ddmin([1, 2], lambda s: True) == []
+
+
+# ----------------------------------------------------------------------
+# Planted divergence: caught, shrunk, persisted, replayed.
+# ----------------------------------------------------------------------
+
+def _corrupt_columnar(case, label, verdict):
+    """The planted bug: columnar cells report a wrong checksum for a
+    non-empty ``p`` (forces the shrinker to keep a derivation alive)."""
+    if case.kind == "evaluation" and label.startswith("columnar"):
+        p = verdict.get("p")
+        if p and p["count"] > 0:
+            mutated = dict(verdict)
+            mutated["p"] = {"count": p["count"], "checksum": "0badc0de"}
+            return mutated
+    return verdict
+
+
+def test_planted_divergence_caught_and_shrunk(tmp_path):
+    report = run_fuzz(seed=5, iterations=30, mutate=_corrupt_columnar,
+                      out_dir=tmp_path)
+    assert not report.ok, "planted corruption was not detected"
+    assert report.divergences[0].against == "baseline"
+
+    # Shrunk hard: the acceptance bound is <= 5 rules.
+    minimized = report.minimized[0]
+    assert len(minimized.program.rules) <= 5
+    assert len(report.written) == 1
+
+    # Still diverging under the mutator...
+    _verdicts, divergences = run_case(minimized, mutate=_corrupt_columnar)
+    assert any(d.against == "baseline" for d in divergences)
+
+    # ...and 1-minimal-ish: it kept only what feeds the corrupted
+    # relation (p must stay derivable, so facts cannot all vanish
+    # unless a bodiless rule keeps p alive via the active domain).
+    replayed = load_regression(report.written[0])
+    assert replayed.program == minimized.program
+
+    # The file replays GREEN through the unmutated matrix: the
+    # recorded expected verdict is the reference cell's.
+    verdicts, divergences = run_case(replayed)
+    assert not divergences
+    assert verdicts["interpretive-naive"] == replayed.expected
+
+    # And it round-trips into the registry as a passing scenario.
+    names = register_regressions(tmp_path)
+    assert names == [minimized.name]
+    scenario = get_scenario(minimized.name)
+    assert "regression" in scenario.tags
+    result = run_scenario(scenario)
+    assert result["ok"], result["verdict"]
+
+    # Idempotent: a second pass skips the already-registered name.
+    assert register_regressions(tmp_path) == []
+
+
+def test_regression_file_is_self_contained(tmp_path):
+    report = run_fuzz(seed=5, iterations=30, mutate=_corrupt_columnar,
+                      out_dir=tmp_path)
+    record = json.loads(report.written[0].read_text())
+    assert record["format"] == 1
+    assert record["kind"] == "evaluation"
+    assert "program" in record and "expected" in record
+    assert record["divergence"]["against"] == "baseline"
+    assert record["divergence"]["label"].startswith("columnar")
+
+
+# ----------------------------------------------------------------------
+# Committed regressions: every checked-in file replays green and
+# registers.
+# ----------------------------------------------------------------------
+
+def _committed_regressions():
+    directory = default_regressions_dir()
+    return sorted(directory.glob("*.json")) if directory.is_dir() else []
+
+
+@pytest.mark.parametrize("path", _committed_regressions(),
+                         ids=lambda p: p.stem)
+def test_committed_regression_replays_green(path):
+    case = load_regression(path)
+    verdicts, divergences = run_case(case)
+    assert not divergences, [d.describe() for d in divergences]
+    assert verdicts["interpretive-naive"] == case.expected
+
+
+def test_committed_regressions_register():
+    names = register_regressions()
+    # Idempotent against earlier registrations in this process; every
+    # committed file's name must end up in the registry either way.
+    for path in _committed_regressions():
+        name = json.loads(path.read_text())["name"]
+        assert name in REGISTRY
+        result = run_scenario(get_scenario(name))
+        assert result["ok"], (name, result["verdict"])
+    assert register_regressions() == []

@@ -37,10 +37,11 @@ def test_build_jobs_matrix_shape():
                 if REGISTRY[n].kind in DECISION_KINDS]
     other = [n for n in scenario_names()
              if REGISTRY[n].kind not in DECISION_KINDS]
-    # tag:scale evaluation scenarios drop the interpretive engine (one
-    # cell instead of two); everything else gets the full cross.
-    scale = [n for n in other if "scale" in REGISTRY[n].tags]
-    assert len(jobs) == 2 * len(decision) + 2 * len(other) - len(scale)
+    # tag:scale / tag:stress evaluation scenarios drop the interpretive
+    # engine (one cell instead of two); everything else gets the full
+    # cross.
+    dropped = [n for n in other if {"scale", "stress"} & set(REGISTRY[n].tags)]
+    assert len(jobs) == 2 * len(decision) + 2 * len(other) - len(dropped)
     # Deterministic: building twice gives the same ordered list.
     assert jobs == build_jobs(scenario_names(),
                               engines=("compiled", "interpretive"),
@@ -124,17 +125,34 @@ def test_parallel_matches_serial():
     assert any(r["pid"] != os.getpid() for r in parallel)
 
 
-@pytest.mark.skipif((os.cpu_count() or 1) < 4,
-                    reason="wall-clock speedup check wants >=4 real cores "
-                           "(fewer cores / loaded runners make the timing "
-                           "assertion flaky; verdict equality is covered "
-                           "unconditionally above)")
 def test_parallel_speedup_on_multicore():
+    """Every runner checks serial/parallel verdict equality on a
+    two-engine matrix; the wall-clock speedup assertion then runs only
+    where it can be trusted (>= 4 real cores), with an explicit skip
+    reason elsewhere.  On 1-core containers this test used to be
+    silently skipped wholesale -- now the correctness half always runs.
+    """
     import time
 
+    jobs = build_jobs(SMALL, engines=("compiled", "interpretive"),
+                      kernels=("bitset", "frozenset"))
+    serial = run_batch(jobs, workers=1)
+    parallel = run_batch(jobs, workers=2)
+    assert verdicts(serial) == verdicts(parallel)
+    assert all(r["ok"] for r in serial + parallel)
+
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        pytest.skip(f"speedup timing needs >=4 real cores, have {cores}: "
+                    "with fewer cores (or a loaded runner) the wall-clock "
+                    "assertion is flaky; serial/parallel verdict equality "
+                    "was still asserted above on this machine")
+
     # tag:scale scenarios are 10^5-fact EDBs -- minutes each on the
-    # interpretive engine -- so the wall-clock matrix excludes them.
-    names = [n for n in scenario_names() if "scale" not in REGISTRY[n].tags]
+    # interpretive engine -- and tag:stress members are seconds-scale
+    # even compiled, so the wall-clock matrix excludes both tiers.
+    names = [n for n in scenario_names()
+             if not {"scale", "stress"} & set(REGISTRY[n].tags)]
     jobs = build_jobs(names, engines=("compiled", "interpretive"),
                       kernels=("bitset", "frozenset"))
     start = time.perf_counter()
