@@ -56,6 +56,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from .automata.kernel import KernelConfig
+from .budget import BudgetExhausted
 from .datalog.database import Database
 from .datalog.errors import ReproError
 from .datalog.parser import parse_program
@@ -123,6 +124,9 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
                         help="automaton kernel backend (default: bitset)")
     parser.add_argument("--json", action="store_true",
                         help="print the full Decision record as JSON")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="wall-clock deadline in seconds for the "
+                             "decision (exit 2 when it fires)")
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -194,6 +198,10 @@ def _parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--out", type=Path, default=None,
                       help="directory for minimized regression files "
                            "(default: tests/regressions/ of the checkout)")
+    fuzz.add_argument("--chaos-seed", type=int, default=None,
+                      help="chaos mode: deterministically plant "
+                           "memory/hang/corrupt faults on first tries "
+                           "and prove the sweep recovers from each")
 
     sub.add_parser(
         "scenarios", add_help=False,
@@ -220,7 +228,8 @@ def _cmd_decide(args) -> int:
             return 2
         decision = session.equivalent_to_nonrecursive(
             program, _read_program(args.nonrecursive), args.goal,
-            nonrecursive_goal=args.nonrecursive_goal, method=args.method)
+            nonrecursive_goal=args.nonrecursive_goal, method=args.method,
+            deadline=args.deadline)
     elif args.kind == "containment":
         if (args.union is None) == (args.union_depth is None):
             print("decide containment requires exactly one of --union / "
@@ -232,11 +241,13 @@ def _cmd_decide(args) -> int:
         else:
             union = expansion_union(program, args.goal, args.union_depth)
         decision = session.contains(program, args.goal, union,
-                                    method=args.method)
+                                    method=args.method,
+                                    deadline=args.deadline)
     else:  # boundedness
         decision = session.bounded(program, args.goal,
                                    max_depth=args.max_depth,
-                                   method=args.method)
+                                   method=args.method,
+                                   deadline=args.deadline)
     _emit(decision, args.json)
     if args.expect is not None:
         if bool(decision) != (args.expect == "true"):
@@ -250,7 +261,8 @@ def _cmd_eval(args) -> int:
     session = _session(args)
     decision = session.query(_read_program(args.program),
                              _read_database(args.db), args.goal,
-                             max_stages=args.max_stages)
+                             max_stages=args.max_stages,
+                             deadline=args.deadline)
     _emit(decision, args.json)
     if not args.json:
         rows = sorted(tuple(str(constant.value) for constant in row)
@@ -265,11 +277,16 @@ def _cmd_fuzz(args) -> int:
 
     report = run_fuzz(seed=args.seed, iterations=args.iterations,
                       matrix=args.matrix, shrink=args.shrink,
-                      out_dir=args.out, max_failures=args.max_failures)
+                      out_dir=args.out, max_failures=args.max_failures,
+                      chaos_seed=args.chaos_seed)
     kinds = ", ".join(f"{kind}={count}"
                       for kind, count in sorted(report.by_kind.items()))
     print(f"fuzz: seed={report.seed} cases={report.cases_run} "
           f"matrix={report.matrix} ({kinds})")
+    if report.chaos_seed is not None:
+        print(f"fuzz: chaos seed {report.chaos_seed}: "
+              f"{report.faults_injected} fault(s) injected, "
+              f"{report.faults_recovered} recovered")
     if report.ok:
         print("fuzz: all cells agree on every case")
         return 0
@@ -321,6 +338,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_eval(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
+    except BudgetExhausted as exc:
+        print(f"error: {exc} (raise --deadline or drop it)",
+              file=sys.stderr)
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

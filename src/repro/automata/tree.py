@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..budget import check_deadline
 from ..datalog.errors import ValidationError
 from .kernel import BitAntichain, Interner, KernelConfig, resolve_kernel, thaw_witness
 
@@ -230,6 +231,7 @@ class TreeAutomaton:
             productive_ref: Set[State] = set()
             changed_ref = True
             while changed_ref:
+                check_deadline()
                 changed_ref = False
                 for (state, _symbol), tuples in self.transitions.items():
                     if state in productive_ref:
@@ -254,6 +256,7 @@ class TreeAutomaton:
         productive = 0
         changed = True
         while changed:
+            check_deadline()
             changed = False
             remaining: List[Tuple[int, int]] = []
             for sid, need in edges:
@@ -280,6 +283,7 @@ class TreeAutomaton:
         witness: Dict[State, LabeledTree] = {}
         changed = True
         while changed:
+            check_deadline()
             changed = False
             for (state, symbol), tuples in self.transitions.items():
                 if state in witness:
@@ -326,6 +330,7 @@ class TreeAutomaton:
         initial = frozenset(frontier)
         states.update(frontier)
         while frontier:
+            check_deadline()
             a, b = frontier.pop()
             for symbol in self.alphabet & other.alphabet:
                 combos: Set[Tuple[State, ...]] = set()
@@ -446,6 +451,7 @@ class BottomUpDeterministic:
         subsets: Set[int] = set()
         changed = True
         while changed:
+            check_deadline()
             changed = False
             for (symbol, arity), bucket in edges.items():
                 pool = sorted(subsets)
@@ -481,6 +487,7 @@ class BottomUpDeterministic:
         subsets: Set[FrozenSet[State]] = set()
         changed = True
         while changed:
+            check_deadline()
             changed = False
             for symbol, edges in by_symbol.items():
                 arities = {len(tuple_) for _, tuple_ in edges}
@@ -616,6 +623,7 @@ def _find_counterexample_tree_bitset(left: TreeAutomaton, right: TreeAutomaton,
 
     changed = True
     while changed:
+        check_deadline()
         changed = False
         for symbol, edges in by_symbol_left.items():
             for state, tuple_ in edges:
@@ -665,6 +673,7 @@ def _find_counterexample_tree_reference(left: TreeAutomaton, right: TreeAutomato
 
     changed = True
     while changed:
+        check_deadline()
         changed = False
         for symbol, edges in by_symbol_left.items():
             for state, tuple_ in edges:

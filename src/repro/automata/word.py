@@ -25,6 +25,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..budget import check_deadline
 from .kernel import Interner, KernelConfig, resolve_kernel
 
 State = Hashable
@@ -86,6 +87,7 @@ class NFA:
         seen: Set[State] = set(self.initial)
         frontier: List[State] = list(self.initial)
         while frontier:
+            check_deadline()
             state = frontier.pop()
             for (source, _symbol), targets in self.transitions.items():
                 if source != state:
@@ -109,6 +111,7 @@ class NFA:
         }
         frontier: List[State] = list(self.initial)
         while frontier:
+            check_deadline()
             next_frontier: List[State] = []
             for state in frontier:
                 for (source, symbol), targets in self.transitions.items():
@@ -169,6 +172,7 @@ class NFA:
         states.update(initial)
         frontier.extend(initial)
         while frontier:
+            check_deadline()
             pair = frontier.pop()
             a, b = pair
             for symbol in alphabet:
@@ -219,6 +223,7 @@ class NFA:
         frontier: List[FrozenSet[State]] = [start]
         transitions: Dict[Tuple[State, Symbol], FrozenSet[State]] = {}
         while frontier:
+            check_deadline()
             subset = frontier.pop()
             for symbol in self.alphabet:
                 target = self.step(subset, symbol)
@@ -243,6 +248,7 @@ class NFA:
         frontier: List[int] = [start]
         mask_transitions: Dict[Tuple[int, Symbol], int] = {}
         while frontier:
+            check_deadline()
             mask = frontier.pop()
             remaining = mask
             images: Dict[Symbol, int] = {symbol: 0 for symbol in self.alphabet}
@@ -385,6 +391,7 @@ def _find_counterexample_word_bitset(left: NFA, right: NFA,
         frontier.append((p, start_v, []))
 
     while frontier:
+        check_deadline()
         p, v, word = frontier.popleft()
         for symbol in left.alphabet:
             next_v = step(v, symbol)

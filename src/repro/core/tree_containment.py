@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..automata.kernel import Interner, KernelConfig, resolve_kernel, thaw_witness
+from ..budget import check_deadline
 from ..cq.query import ConjunctiveQuery, UnionOfConjunctiveQueries
 from ..datalog.atoms import Atom
 from ..datalog.program import Program
@@ -124,6 +125,7 @@ class _UnionAutomaton:
                     frontier.append(state)
         processed: Set[BState] = set()
         while frontier:
+            check_deadline()
             state = frontier.pop()
             if state in processed:
                 continue
@@ -292,6 +294,7 @@ def _profile_search_bitset(ptrees: PTreeAutomaton, bunion: _UnionAutomaton,
 
     generation = 0
     while True:
+        check_deadline()
         generation += 1
         stats["rounds"] = generation
         changed = False
@@ -343,6 +346,7 @@ def _profile_search_reference(ptrees: PTreeAutomaton, bunion: _UnionAutomaton,
 
     generation = 0
     while True:
+        check_deadline()
         generation += 1
         stats["rounds"] = generation
         changed = False

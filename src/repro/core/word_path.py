@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..automata.kernel import Interner, KernelConfig, resolve_kernel
+from ..budget import check_deadline
 from ..cq.query import UnionOfConjunctiveQueries
 from ..datalog.analysis import is_linear, recursive_body_atoms, recursive_predicates
 from ..datalog.atoms import Atom
@@ -174,6 +175,7 @@ def _linear_search_bitset(ptrees: PTreeAutomaton,
             frontier.append((root, mask, ()))
 
     while frontier:
+        check_deadline()
         atom, mask, path = frontier.pop()
         stats["pairs"] += 1
         for label in ptrees.enumerator.labels_for(atom):
@@ -262,6 +264,7 @@ def _linear_search_reference(ptrees: PTreeAutomaton,
             frontier.append((root, subset, ()))
 
     while frontier:
+        check_deadline()
         atom, subset, path = frontier.pop()
         stats["pairs"] += 1
         for label in ptrees.enumerator.labels_for(atom):

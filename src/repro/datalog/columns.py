@@ -59,6 +59,7 @@ from array import array
 from itertools import repeat
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..budget import check_deadline
 from ..context import current_scope as _current_scope
 from .database import Database
 from .plan import OP_BIND, OP_CHECK, OP_CONST, PlanCache, ResolvedPlan
@@ -469,6 +470,7 @@ def execute_batch(rplan: ResolvedPlan, store: ColumnStore, domain,
     Set semantics throughout: the *set* of returned rows is exactly
     what :meth:`ResolvedPlan.execute` would derive minus *dedup*.
     """
+    check_deadline()
     regs: Dict[int, List[int]] = {}
     n = -1  # -1: virgin frontier (one empty row)
     for predicate, use_delta, index_spec, ops in rplan.steps:
@@ -635,6 +637,7 @@ def columnar_naive(program: Program, database: Database,
     stage = 0
     fixpoint = False
     while max_stages is None or stage < max_stages:
+        check_deadline()
         domain = store.domain() if needs_domain else ()
         derived: Dict[str, Tuple[Set[int], int]] = {}
         for _, head_predicate, arity, rplan in full:
@@ -710,6 +713,7 @@ def columnar_seminaive(program: Program, database: Database,
     fixpoint = not any_delta
 
     while any(delta.values()) and (max_stages is None or stage < max_stages):
+        check_deadline()
         domain = store.domain() if needs_domain else ()
         new_delta: Dict[str, Optional[Batch]] = {p: None for p in idb}
         changed = False

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from itertools import product
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from ..budget import check_deadline
 from ..context import current_session as _current_session
 from .atoms import Atom
 from .columns import columnar_naive, columnar_seminaive
@@ -228,6 +229,7 @@ def naive_evaluate(program: Program, database: Database,
     stage = 0
     fixpoint = False
     while max_stages is None or stage < max_stages:
+        check_deadline()
         domain = _active_domain(database, program, store)
         changed = False
         derived: Dict[str, Set[Row]] = {}
@@ -263,6 +265,7 @@ def seminaive_evaluate(program: Program, database: Database,
     fixpoint = not any(delta.values())
 
     while any(delta.values()) and (max_stages is None or stage < max_stages):
+        check_deadline()
         domain = _active_domain(database, program, store)
         new_delta: Dict[str, Set[Row]] = {p: set() for p in idb}
         changed = False

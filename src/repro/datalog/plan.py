@@ -42,6 +42,7 @@ from __future__ import annotations
 from itertools import product
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from ..budget import check_deadline
 from .database import Database
 from .program import Program
 from .rules import Rule
@@ -165,6 +166,7 @@ class ResolvedPlan:
     def execute(self, store: PlanStore, domain,
                 delta_rows: Optional[Set[tuple]] = None) -> Set[tuple]:
         """All head rows derivable by one application of the plan."""
+        check_deadline()
         out: Set[tuple] = set()
         regs: List[object] = [None] * self.nregs
         steps = self.steps
@@ -390,6 +392,7 @@ def compiled_naive(program: Program, database: Database,
     stage = 0
     fixpoint = False
     while max_stages is None or stage < max_stages:
+        check_deadline()
         domain = store.domain() if needs_domain else ()
         derived: Dict[str, Set[tuple]] = {}
         for head_predicate, rplan in resolved:
@@ -436,6 +439,7 @@ def compiled_seminaive(program: Program, database: Database,
     fixpoint = not any(delta.values())
 
     while any(delta.values()) and (max_stages is None or stage < max_stages):
+        check_deadline()
         domain = store.domain() if needs_domain else ()
         new_delta: Dict[str, Set[tuple]] = {p: set() for p in idb}
         changed = False

@@ -44,7 +44,7 @@ from .regressions import (
     write_regression,
 )
 from .shrinker import ddmin, shrink_case, shrink_divergence, still_diverges
-from .sweep import FuzzReport, run_fuzz
+from .sweep import FuzzReport, planted_fault, run_fuzz
 
 __all__ = [
     "EVAL_BASELINE",
@@ -65,6 +65,7 @@ __all__ = [
     "draw_case",
     "evaluation_verdict",
     "load_regression",
+    "planted_fault",
     "register_regressions",
     "run_case",
     "run_fuzz",

@@ -1,0 +1,341 @@
+"""Supervised process-pool execution: crash detection, respawn,
+bounded retries, and quarantine.
+
+``ProcessPoolExecutor`` has a brutal failure mode: one worker dying
+(segfault, ``os._exit``, OOM-kill) marks the whole pool broken, every
+pending future raises ``BrokenProcessPool``, and the batch aborts with
+no record of which job was poisoned.  For EXPTIME-hard decision
+workloads that is the *expected* steady state, not an anomaly, so the
+supervisor turns worker death into data:
+
+1. **Wave 0** submits one future per shard (preserving the runner's
+   scenario-affine sharding and warm-cache semantics).  Futures that
+   complete before a crash keep their results.
+2. On a broken pool -- detected via ``BrokenProcessPool`` from any
+   future, or a **stall** (no future completes and no worker heartbeat
+   within ``stall_timeout_s``, in which case the supervisor kills the
+   workers itself) -- the executor is shut down and respawned, and
+   every job whose future died is charged one attempt.
+3. Failed jobs retry in **sequential isolation**: one future in
+   flight at a time, so a poisoned job can only take itself down and
+   every crash attributes exactly -- a concurrent retry wave would let
+   the poisoned job break the pool under its innocent wave-mates and
+   charge them too.  Retries of the same job are separated by
+   exponential backoff with deterministic jitter (hashed from the job
+   key, so reruns sleep the same schedule).
+4. A job that still fails after ``max_attempts`` tries is
+   **quarantined**: the batch completes without it and the caller
+   receives a :class:`Quarantined` record (job, attempts, error
+   category) to surface as a ``Decision``-shaped error row.
+
+The supervisor is generic over the job/result types: the batch runner
+passes its shard and job callables in, and converts
+:class:`Quarantined` records into error decisions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (Any, Callable, List, Optional, Sequence, Tuple)
+
+from ..budget import BudgetExhausted
+from .chaos import PayloadCorruption, SimulatedWorkerCrash
+
+__all__ = [
+    "ERROR_CATEGORIES",
+    "Quarantined",
+    "RetryPolicy",
+    "SupervisedOutcome",
+    "beat",
+    "classify_failure",
+    "run_supervised",
+]
+
+#: The error taxonomy, in severity order used by summary tables.
+ERROR_CATEGORIES: Tuple[str, ...] = (
+    "timeout", "memory", "crash", "corrupt", "error",
+)
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Map an exception to its error-taxonomy category.
+
+        >>> classify_failure(MemoryError())
+        'memory'
+        >>> classify_failure(BudgetExhausted(1.5))
+        'timeout'
+        >>> classify_failure(ValueError("boom"))
+        'error'
+    """
+    if isinstance(exc, BudgetExhausted):
+        return "timeout"
+    if isinstance(exc, MemoryError):
+        return "memory"
+    if isinstance(exc, (SimulatedWorkerCrash, BrokenProcessPool)):
+        return "crash"
+    if isinstance(exc, PayloadCorruption):
+        return "corrupt"
+    return "error"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic
+    jitter.
+
+    ``max_attempts`` counts every try of a job -- ladder rungs inside
+    a worker and supervisor resubmissions alike -- so a wildcard fault
+    cannot loop forever.  Jitter is hashed from ``(job key, attempt)``
+    rather than drawn from a RNG: reruns of the same batch sleep the
+    same schedule, keeping chaos tests reproducible.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+
+    def backoff(self, key: str, failures: int) -> float:
+        """Seconds to sleep after the ``failures``-th failure of the
+        job identified by ``key`` (0 failures -> no sleep)."""
+        if failures <= 0:
+            return 0.0
+        raw = min(
+            self.backoff_base_s * self.backoff_factor ** (failures - 1),
+            self.backoff_max_s,
+        )
+        digest = hashlib.sha1(f"{key}#{failures}".encode()).digest()
+        fraction = int.from_bytes(digest[:4], "big") / 2 ** 32
+        return raw * (0.5 + 0.5 * fraction)
+
+
+@dataclass(frozen=True)
+class Quarantined:
+    """A job abandoned after exhausting its retry budget."""
+
+    job: Any
+    attempts: int
+    category: str
+    message: str
+
+
+@dataclass
+class SupervisedOutcome:
+    """Everything a supervised batch produced."""
+
+    results: List[Any] = field(default_factory=list)
+    quarantined: List[Quarantined] = field(default_factory=list)
+    respawns: int = 0
+    retried_jobs: int = 0
+
+
+# ----------------------------------------------------------------------
+# Worker-side heartbeat.
+# ----------------------------------------------------------------------
+
+_HEARTBEATS = None  # Manager dict proxy, installed in workers.
+
+
+def _install_worker(heartbeats, initializer, initargs) -> None:
+    """Worker initializer shim: install the heartbeat channel, then run
+    the caller's own initializer (which disarms stale itimers etc.)."""
+    global _HEARTBEATS
+    _HEARTBEATS = heartbeats
+    beat()
+    if initializer is not None:
+        initializer(*initargs)
+
+
+def beat() -> None:
+    """Record a liveness timestamp for this worker (no-op outside a
+    supervised pool, or if the heartbeat channel is gone).  Workers
+    call this at job start and end; the supervisor treats a pool whose
+    newest heartbeat is older than ``stall_timeout_s`` as hung."""
+    if _HEARTBEATS is None:
+        return
+    try:
+        _HEARTBEATS[os.getpid()] = time.monotonic()
+    except Exception:
+        pass
+
+
+def _newest_heartbeat() -> Optional[float]:
+    if _HEARTBEATS is None:
+        return None
+    try:
+        values = list(_HEARTBEATS.values())
+    except Exception:
+        return None
+    return max(values) if values else None
+
+
+def _kill_workers(executor: ProcessPoolExecutor) -> None:
+    """Forcibly terminate a hung pool's workers; their deaths surface
+    as ``BrokenProcessPool`` on the pending futures."""
+    processes = getattr(executor, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.kill()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# The supervisor loop.
+# ----------------------------------------------------------------------
+
+def run_supervised(
+    shards: Sequence[Sequence[Any]],
+    shard_fn: Callable[[Sequence[Any]], List[Any]],
+    job_fn: Callable[[Any, int], Any],
+    *,
+    max_workers: int,
+    policy: Optional[RetryPolicy] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple[Any, ...] = (),
+    stall_timeout_s: Optional[float] = None,
+    job_key: Callable[[Any], str] = str,
+    log: Optional[Callable[[str], None]] = None,
+) -> SupervisedOutcome:
+    """Run *shards* of jobs under supervision and return every result
+    or quarantine record.
+
+    ``shard_fn`` (wave 0) maps a whole shard to a list of results;
+    ``job_fn(job, attempt)`` runs one job in isolation, where
+    *attempt* is the 1-based number of this try (prior failed tries
+    included).  Both execute in pool workers and so must be picklable
+    module-level callables.  ``initializer``/``initargs`` run in every
+    (re)spawned worker -- the batch runner uses them to disarm stale
+    itimers and mark the process as a worker for chaos purposes.
+    """
+    policy = policy or RetryPolicy()
+    outcome = SupervisedOutcome()
+    say = log or (lambda _msg: None)
+
+    heartbeats = None
+    if stall_timeout_s is not None:
+        import multiprocessing
+
+        manager = multiprocessing.Manager()
+        heartbeats = manager.dict()
+    global _HEARTBEATS
+    _HEARTBEATS = heartbeats  # supervisor side reads _newest_heartbeat()
+
+    def spawn() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_install_worker,
+            initargs=(heartbeats, initializer, initargs),
+        )
+
+    executor: Optional[ProcessPoolExecutor] = spawn()
+    tick = 0.25 if stall_timeout_s is None else max(
+        0.05, min(0.25, stall_timeout_s / 4.0))
+
+    def drain(futures: dict) -> Tuple[List[Tuple[Any, Any]],
+                                      List[Tuple[Any, str, str]], bool]:
+        """Await every future in ``futures`` ({future: tag}); return
+        (completed [(tag, result)], failed [(tag, category, message)],
+        pool_broken).  Watches the heartbeat channel and kills a hung
+        pool when ``stall_timeout_s`` is armed."""
+        completed: List[Tuple[Any, Any]] = []
+        failed: List[Tuple[Any, str, str]] = []
+        pool_broken = False
+        pending = set(futures)
+        last_progress = time.monotonic()
+        while pending:
+            done, not_done = wait(pending, timeout=tick,
+                                  return_when=FIRST_COMPLETED)
+            if done:
+                last_progress = time.monotonic()
+            for future in done:
+                tag = futures[future]
+                try:
+                    completed.append((tag, future.result()))
+                except BrokenProcessPool as exc:
+                    pool_broken = True
+                    failed.append((tag, "crash",
+                                   str(exc) or "worker process died"))
+                except Exception as exc:
+                    failed.append((tag, classify_failure(exc),
+                                   f"{type(exc).__name__}: {exc}"))
+            pending = not_done
+            if pool_broken:
+                # The executor is unusable; every pending future is
+                # doomed -- charge them all and let the caller respawn.
+                for future in pending:
+                    failed.append((futures[future], "crash",
+                                   "worker process died (pool broken)"))
+                pending = set()
+            elif pending and not done and stall_timeout_s is not None:
+                newest = _newest_heartbeat()
+                alive_at = max(last_progress, newest or 0.0)
+                if time.monotonic() - alive_at > stall_timeout_s:
+                    say(f"supervisor: no progress or heartbeat for "
+                        f">{stall_timeout_s}s, killing workers")
+                    _kill_workers(executor)
+                    pool_broken = True
+        return completed, failed, pool_broken
+
+    try:
+        # Wave 0: every shard concurrently.
+        futures = {
+            executor.submit(shard_fn, list(shard)): list(shard)
+            for shard in shards if shard
+        }
+        completed, failed, pool_broken = drain(futures)
+        for _tag, result in completed:
+            outcome.results.extend(result)
+
+        # Retry queue: each job of a failed shard has one failed try.
+        retry: List[Tuple[Any, int]] = []
+        for shard_jobs, category, message in failed:
+            for job in shard_jobs:
+                if policy.max_attempts <= 1:
+                    outcome.quarantined.append(Quarantined(
+                        job=job, attempts=1, category=category,
+                        message=message))
+                else:
+                    retry.append((job, 2))
+
+        # Sequential isolation: exactly one future in flight, so a
+        # crash attributes to the job that caused it and can never
+        # charge an innocent wave-mate through a broken pool.
+        while retry:
+            job, attempt = retry.pop(0)
+            if pool_broken:
+                executor.shutdown(wait=False)
+                executor = spawn()
+                outcome.respawns += 1
+                pool_broken = False
+            time.sleep(policy.backoff(job_key(job), attempt - 1))
+            say(f"supervisor: retrying {job_key(job)} "
+                f"(attempt {attempt}/{policy.max_attempts})")
+            outcome.retried_jobs += 1
+            completed, failed, pool_broken = drain({
+                executor.submit(job_fn, job, attempt): job,
+            })
+            for _tag, result in completed:
+                outcome.results.append(result)
+            for _tag, category, message in failed:
+                if attempt >= policy.max_attempts:
+                    outcome.quarantined.append(Quarantined(
+                        job=job, attempts=attempt, category=category,
+                        message=message))
+                    say(f"supervisor: quarantined {job_key(job)} "
+                        f"after {attempt} attempts ({category})")
+                else:
+                    retry.append((job, attempt + 1))
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
+        _HEARTBEATS = None
+        if heartbeats is not None:
+            manager.shutdown()
+
+    return outcome

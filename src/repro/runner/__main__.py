@@ -18,21 +18,30 @@ Examples::
     python -m repro.runner --scenarios tag:bench --cache cold --no-write
     python -m repro.runner --scenarios tag:bench --workers 4 --verify-serial
     python -m repro.runner --scenarios tag:scale --engines columnar,compiled
+    python -m repro.runner --scenarios tag:bench --deadline 30 \
+        --chaos "crash:scenario=eval_tc_grid_10x10,attempt=1"
 
-Exit status is nonzero when any verdict misses its ground truth or
-(under ``--verify-serial``) the parallel run disagrees with the serial
-one.  See ``docs/BENCHMARKS.md`` for the full reference.
+Exit status: 0 when every job answered and matched ground truth
+(degraded rungs included); 1 when any verdict missed its ground truth
+(or, under ``--verify-serial``, the parallel run disagreed with the
+serial one); 2 when verdicts all held but one or more jobs were
+quarantined after exhausting their retries.  See
+``docs/BENCHMARKS.md`` and ``docs/RESILIENCE.md`` for the full
+reference.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
 from pathlib import Path
 from typing import Dict, List
 
+from ..resilience import ERROR_CATEGORIES, ResilienceConfig, parse_schedule
+from ..resilience.chaos import CHAOS_ENV
 from .batch import (
     ENGINE_CONFIGS,
     KERNEL_CONFIGS,
@@ -84,11 +93,64 @@ def _parse_args(argv=None):
                              "root)")
     parser.add_argument("--no-write", action="store_true",
                         help="skip the trajectory write (CI smoke)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="per-job wall-clock deadline in seconds "
+                             "(enforced on and off the main thread)")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="total tries per job before quarantine "
+                             "(default: 3)")
+    parser.add_argument("--no-ladder", action="store_true",
+                        help="retry failed jobs on their own rung "
+                             "instead of degrading down the ladder")
+    parser.add_argument("--chaos", default=None, metavar="SPEC",
+                        help="fault-injection schedule, e.g. "
+                             "'crash:scenario=X,attempt=1;hang:nth=2,"
+                             "seconds=5' (also read from $%s)" % CHAOS_ENV)
+    parser.add_argument("--quarantine-out", type=Path, default=None,
+                        help="write quarantined job records to this "
+                             "JSON file (CI artifact)")
     return parser.parse_args(argv)
+
+
+def _resilience_config(args) -> ResilienceConfig | None:
+    """The resilience policy implied by the CLI flags (None = legacy
+    serial behavior; the parallel path is always supervised)."""
+    wants = (args.deadline is not None or args.chaos is not None
+             or args.no_ladder or args.max_attempts != 3
+             or os.environ.get(CHAOS_ENV))
+    if not wants:
+        return None
+    return ResilienceConfig(
+        deadline_s=args.deadline,
+        max_attempts=args.max_attempts,
+        ladder=not args.no_ladder,
+        chaos=parse_schedule(args.chaos) if args.chaos else None,
+    )
 
 
 def _labels(spec: str, table: Dict) -> List[str]:
     return sorted(table) if spec in ("both", "all") else spec.split(",")
+
+
+def _print_error_summary(records: List[Dict]) -> None:
+    """The per-error-category summary table (only printed when some
+    job failed a try: quarantines, retries, or degradations)."""
+    by_category: Dict[str, int] = {}
+    retried = sum(1 for r in records if r["attempts"] > 1)
+    degraded = sum(1 for r in records if r.get("degraded_to"))
+    for record in records:
+        error = record.get("error")
+        if error is not None:
+            by_category[error] = by_category.get(error, 0) + 1
+    if not by_category and not retried and not degraded:
+        return
+    print("error summary:")
+    print(f"  {'category':12s} {'quarantined':>11s}")
+    for category in ERROR_CATEGORIES:
+        if category in by_category:
+            print(f"  {category:12s} {by_category[category]:>11d}")
+    print(f"  jobs retried: {retried}, answered degraded: {degraded}, "
+          f"quarantined: {sum(by_category.values())}")
 
 
 def main(argv=None) -> int:
@@ -113,27 +175,49 @@ def main(argv=None) -> int:
               f"workers will time-slice; wall-clock speedup needs "
               f"workers <= cores")
 
+    resilience = _resilience_config(args)
     start = time.perf_counter()
-    decisions = run_batch(jobs, workers=args.workers)
+    decisions = run_batch(jobs, workers=args.workers,
+                          resilience=resilience)
     wall = time.perf_counter() - start
     records = [decision.record() for decision in decisions]
 
-    failures = [r for r in records if not r["ok"]]
+    # ok=False is a verdict that missed ground truth; quarantined jobs
+    # carry error!=None with ok=None (no verdict to check).
+    failures = [r for r in records if r["ok"] is False]
+    quarantined = [r for r in records if r.get("error") is not None]
     for record in records:
-        flag = "ok " if record["ok"] else "FAIL"
+        if record.get("error") is not None:
+            flag = "QUAR"
+        else:
+            flag = "ok " if record["ok"] else "FAIL"
+        extra = ""
+        if record["attempts"] > 1:
+            extra += f"  attempts={record['attempts']}"
+        if record.get("degraded_to"):
+            extra += f"  degraded_to={record['degraded_to']}"
         print(f"  {flag} {record['scenario']:32s} "
               f"{record['engine']:12s} {record['kernel']:10s} "
-              f"{record['seconds']*1000:9.1f}ms  {record['verdict']}")
+              f"{record['seconds']*1000:9.1f}ms  {record['verdict']}"
+              f"{extra}")
     print(f"total wall-clock {wall:.2f}s "
           f"(sum of job times {sum(r['seconds'] for r in records):.2f}s)")
+    _print_error_summary(records)
+
+    if args.quarantine_out is not None:
+        args.quarantine_out.parent.mkdir(parents=True, exist_ok=True)
+        args.quarantine_out.write_text(
+            json.dumps(quarantined, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {len(quarantined)} quarantine record(s) to "
+              f"{args.quarantine_out}")
 
     if args.verify_serial:
         serial_start = time.perf_counter()
-        serial_records = run_batch(jobs, workers=1)
+        serial_records = run_batch(jobs, workers=1, resilience=resilience)
         serial_wall = time.perf_counter() - serial_start
         if verdicts(serial_records) != verdicts(decisions):
             print("FAIL: parallel verdicts differ from serial execution")
-            return 2
+            return 1
         print(f"verified against serial run ({serial_wall:.2f}s wall; "
               f"parallel was {wall:.2f}s)")
 
@@ -159,6 +243,10 @@ def main(argv=None) -> int:
     if failures:
         print(f"FAIL: {len(failures)} job(s) missed ground truth")
         return 1
+    if quarantined:
+        print(f"QUARANTINED: {len(quarantined)} job(s) abandoned after "
+              f"retries (verdicts that answered all held)")
+        return 2
     return 0
 
 

@@ -40,18 +40,37 @@ Design points (each load-bearing for correctness or fairness):
 * **Self-checking.**  Every job's verdict is compared against the
   scenario's constructed ground truth; a batch with any ``ok=False``
   entry exits nonzero from the CLI.
+* **Resilience.**  The parallel path runs under the
+  :mod:`repro.resilience` supervisor: a worker crash no longer aborts
+  the batch -- the pool is respawned and the dead shard's jobs retry
+  in isolation, with bounded attempts and quarantine records
+  (``Decision.error`` set, exit code 2 from the CLI) for jobs that
+  never succeed.  A :class:`~repro.resilience.ResilienceConfig` adds
+  per-job deadlines, the degradation ladder (failed jobs retry one
+  rung down: columnar -> compiled -> interpretive, bitset ->
+  frozenset), and deterministic chaos injection for the fault tests.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..automata.kernel import KernelConfig
+from ..budget import disarm_alarm, time_budget
 from ..datalog.engine import EngineConfig
+from ..resilience import (
+    ResilienceConfig,
+    classify_failure,
+    ladder_rungs,
+    rung_label,
+    run_supervised,
+)
+from ..resilience import chaos as _chaos
+from ..resilience.supervisor import beat as _beat
 from ..session import Decision, Session
 from ..workloads.scenarios import (
     DECISION_KINDS,
@@ -162,23 +181,21 @@ def _session_for(label: str, cache: str) -> Session:
     return session
 
 
-def run_decision(job: Job) -> Decision:
-    """Run one job in the current process and return its
-    :class:`~repro.session.Decision`.
-
-    The decision's ``meta`` carries the matrix cell and the wall-clock
-    seconds for the whole scenario run (payload construction included
-    -- scenario builds are part of the served work); its payload
-    (``certificate``/``raw``) is stripped so decisions pickle cheaply
-    across the process pool.
-    """
+def _run_cell(job: Job, engine_label: str, kernel_label: str,
+              deadline: Optional[float] = None) -> Decision:
+    """Run *job*'s scenario on an explicit (engine, kernel) -- the
+    job's own configuration normally, a ladder rung on degraded
+    retries.  ``meta`` always carries the *requested* cell (the batch
+    reassembles results by it); :attr:`~repro.session.Decision.degraded_to`
+    records the answering rung when they differ."""
     scenario = get_scenario(job.scenario)
     if job.cache == "cold":
         _SESSIONS.clear()
-    session = _session_for(job.engine, job.cache)
-    kernel = KERNEL_CONFIGS[job.kernel]
+    session = _session_for(engine_label, job.cache)
+    kernel = KERNEL_CONFIGS[kernel_label]
     start = time.perf_counter()
-    decision = session.run_scenario(scenario, kernel=kernel)
+    decision = session.run_scenario(scenario, kernel=kernel,
+                                    deadline=deadline)
     seconds = time.perf_counter() - start
     decision.meta.update({
         "scenario": job.scenario,
@@ -192,6 +209,109 @@ def run_decision(job: Job) -> Decision:
     return decision.without_payload()
 
 
+def run_decision(job: Job) -> Decision:
+    """Run one job in the current process and return its
+    :class:`~repro.session.Decision`.
+
+    The decision's ``meta`` carries the matrix cell and the wall-clock
+    seconds for the whole scenario run (payload construction included
+    -- scenario builds are part of the served work); its payload
+    (``certificate``/``raw``) is stripped so decisions pickle cheaply
+    across the process pool.
+    """
+    return _run_cell(job, job.engine, job.kernel)
+
+
+def quarantine_decision(job: Job, *, attempts: int, category: str,
+                        message: str) -> Decision:
+    """The ``Decision``-shaped error record of a job abandoned after
+    exhausting its retries: ``verdict={"error": category}``,
+    ``ok=None`` (no ground-truth claim), :attr:`Decision.error` set.
+    The batch stays whole -- one poisoned cell yields one quarantine
+    record, not an aborted run."""
+    kind = get_scenario(job.scenario).kind
+    return Decision(
+        kind=kind,
+        verdict={"error": category},
+        ok=None,
+        stats={"failure": message},
+        error=category,
+        attempts=attempts,
+        meta={
+            "scenario": job.scenario,
+            "kind": kind,
+            "engine": job.engine,
+            "kernel": job.kernel,
+            "cache": job.cache,
+            "seconds": 0.0,
+            "pid": os.getpid(),
+        },
+    )
+
+
+def run_job_resilient(job: Job, resilience: ResilienceConfig,
+                      attempt: int = 1) -> Decision:
+    """Run one job under the resilience policy: chaos injection, the
+    per-job deadline, and the degradation ladder.
+
+    Tries start at *attempt* (>1 when the supervisor resubmits a job
+    whose worker died) and walk the ladder one rung per failure --
+    staying on the last rung once the ladder is exhausted -- until a
+    try succeeds or ``max_attempts`` total tries are spent, at which
+    point the job is quarantined in place.  Worker death is the one
+    failure this function cannot absorb: a ``crash`` fault inside a
+    real pool worker exits the process and becomes the supervisor's
+    problem (in a serial run it raises and is retried here like any
+    other failure).
+    """
+    schedule = (resilience.chaos if resilience.chaos is not None
+                else _chaos.from_env())
+    decision_kind = get_scenario(job.scenario).kind in DECISION_KINDS
+    if resilience.ladder:
+        rungs = ladder_rungs(job.engine, job.kernel, decision_kind)
+    else:
+        rungs = [(job.engine, job.kernel)]
+    requested = rung_label(job.engine, job.kernel)
+    failures: List[str] = []
+    last_category = "error"
+    rung_index = 0
+    while attempt <= resilience.max_attempts:
+        engine_label, kernel_label = rungs[min(rung_index,
+                                               len(rungs) - 1)]
+        _beat()
+        nth = _chaos.next_job_index()
+        try:
+            # The outer budget covers chaos injection too: a planted
+            # hang is interruptible by the same deadline as the cell
+            # it delays.
+            with time_budget(resilience.deadline_s):
+                _chaos.inject(job.scenario, nth, attempt,
+                              schedule=schedule)
+                decision = _run_cell(job, engine_label, kernel_label,
+                                     deadline=resilience.deadline_s)
+        except Exception as exc:
+            failures.append(f"attempt {attempt} "
+                            f"[{engine_label}/{kernel_label}] "
+                            f"{classify_failure(exc)}: {exc}")
+            last_category = classify_failure(exc)
+            attempt += 1
+            rung_index += 1
+            continue
+        finally:
+            _beat()
+        decision.attempts = attempt
+        answered = rung_label(engine_label, kernel_label)
+        if answered != requested:
+            decision.degraded_to = answered
+        if failures:
+            decision.stats.setdefault("retried_after", list(failures))
+        return decision
+    return quarantine_decision(
+        job, attempts=attempt - 1, category=last_category,
+        message="; ".join(failures),
+    )
+
+
 def execute_job(job: Job) -> Dict:
     """Run one job and return its JSON-serializable trajectory record
     (the :meth:`~repro.session.Decision.record` of
@@ -199,7 +319,8 @@ def execute_job(job: Job) -> Dict:
     return run_decision(job).record()
 
 
-def run_shard(jobs: Sequence[Job]) -> List[Decision]:
+def run_shard(jobs: Sequence[Job],
+              resilience: Optional[ResilienceConfig] = None) -> List[Decision]:
     """Execute a shard of jobs in the current process, in order.
 
     In warm mode each scenario's session caches are pre-built once
@@ -208,6 +329,11 @@ def run_shard(jobs: Sequence[Job]) -> List[Decision]:
     first kernel's seconds would absorb one-time kernel-neutral
     automaton construction that later kernels reuse for free.  Cold
     jobs get fresh sessions in :func:`run_decision` instead.
+
+    With a *resilience* config, jobs run through
+    :func:`run_job_resilient` (chaos injection, deadline, degradation
+    ladder, in-place quarantine); without one, failures propagate as
+    they always did.
     """
     decisions: List[Decision] = []
     warmed: set = set()
@@ -215,8 +341,31 @@ def run_shard(jobs: Sequence[Job]) -> List[Decision]:
         if job.cache == "warm" and job.scenario not in warmed:
             _session_for(job.engine, job.cache).warm(scenario=job.scenario)
             warmed.add(job.scenario)
-        decisions.append(run_decision(job))
+        if resilience is None:
+            decisions.append(run_decision(job))
+        else:
+            decisions.append(run_job_resilient(job, resilience))
     return decisions
+
+
+def _run_isolated(job: Job, attempt: int,
+                  resilience: ResilienceConfig) -> Decision:
+    """Supervisor retry entry point: one job, alone, in whatever
+    worker picks it up (warm its scenario first so the cache mode's
+    semantics survive the respawn)."""
+    if job.cache == "warm":
+        _session_for(job.engine, job.cache).warm(scenario=job.scenario)
+    return run_job_resilient(job, resilience, attempt=attempt)
+
+
+def _worker_init() -> None:
+    """Pool-worker initializer (runs on every spawn *and* respawn):
+    a respawned worker must not inherit a dying incarnation's armed
+    itimer -- a stale alarm would kill its first retried job at an
+    arbitrary point -- and must know it is a worker so ``crash``
+    faults really exit."""
+    disarm_alarm()
+    _chaos.mark_worker()
 
 
 def shard_jobs(jobs: Sequence[Job], workers: int) -> List[List[Job]]:
@@ -245,21 +394,46 @@ def shard_jobs(jobs: Sequence[Job], workers: int) -> List[List[Job]]:
     return [shard for shard in shards if shard]
 
 
-def run_batch(jobs: Sequence[Job], workers: int = 1) -> List[Decision]:
+def run_batch(jobs: Sequence[Job], workers: int = 1,
+              resilience: Optional[ResilienceConfig] = None) -> List[Decision]:
     """Execute *jobs*, serially (``workers <= 1``) or sharded across a
-    process pool, returning :class:`~repro.session.Decision` objects
-    **in job order** either way.  Decisions are dict-compatible, so
-    consumers index ``record["verdict"]`` etc. unchanged; call
-    ``.record()`` for a plain JSON dict."""
+    supervised process pool, returning
+    :class:`~repro.session.Decision` objects **in job order** either
+    way.  Decisions are dict-compatible, so consumers index
+    ``record["verdict"]`` etc. unchanged; call ``.record()`` for a
+    plain JSON dict.
+
+    The parallel path is always supervised (worker crashes respawn the
+    pool and retry the dead shard's jobs instead of aborting the
+    batch); *resilience* tunes the policy -- deadline, retry budget,
+    ladder, chaos schedule -- and additionally arms the serial path's
+    per-job recovery.  Jobs that exhaust their retries come back as
+    quarantine records (``Decision.error`` set), never as a missing
+    row.
+    """
     jobs = list(jobs)
     if workers <= 1:
-        records = run_shard(jobs)
+        records = run_shard(jobs, resilience)
     else:
+        config = resilience or ResilienceConfig()
         shards = shard_jobs(jobs, workers)
-        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-            records = [record
-                       for shard_records in pool.map(run_shard, shards)
-                       for record in shard_records]
+        outcome = run_supervised(
+            shards,
+            partial(run_shard, resilience=config),
+            partial(_run_isolated, resilience=config),
+            max_workers=len(shards),
+            policy=config.policy(),
+            initializer=_worker_init,
+            stall_timeout_s=config.stall_timeout_s,
+            job_key=lambda job: f"{job.scenario}/{job.engine}/"
+                                f"{job.kernel}/{job.cache}",
+        )
+        records = list(outcome.results)
+        records.extend(
+            quarantine_decision(q.job, attempts=q.attempts,
+                                category=q.category, message=q.message)
+            for q in outcome.quarantined
+        )
     by_key = {(r["scenario"], r["engine"], r["kernel"], r["cache"]): r
               for r in records}
     return [by_key[(j.scenario, j.engine, j.kernel, j.cache)] for j in jobs]

@@ -139,6 +139,14 @@ class Decision:
     ground-truth check when one exists (scenario runs); ``meta`` holds
     carrier fields (scenario name, matrix cell, worker pid).
 
+    The resilience layer adds three fields: ``error`` is the
+    error-taxonomy category of a job that was quarantined after
+    exhausting its retries (``None`` for a real verdict); ``attempts``
+    counts the tries that produced this decision (1 = first try);
+    ``degraded_to`` names the ladder rung (``"engine/kernel"``) that
+    answered when it was not the requested configuration.  All three
+    round-trip through :meth:`record`.
+
     ``raw`` is the legacy result object
     (:class:`~repro.core.tree_containment.ContainmentResult`,
     :class:`~repro.core.equivalence.EquivalenceResult`,
@@ -157,11 +165,16 @@ class Decision:
     timings: Dict[str, float] = field(default_factory=dict)
     fingerprint: str = ""
     checksum: Optional[str] = None
+    error: Optional[str] = None
+    attempts: int = 1
+    degraded_to: Optional[str] = None
     certificate: Any = field(default=None, repr=False)
     meta: Dict[str, Any] = field(default_factory=dict)
     raw: Any = field(default=None, repr=False, compare=False)
 
     def __bool__(self) -> bool:
+        if self.error is not None:
+            return False
         if self.ok is False:
             return False
         key = _TRUTH_KEYS.get(self.kind)
@@ -182,22 +195,30 @@ class Decision:
         rec["stats"] = dict(self.stats)
         rec["timings"] = dict(self.timings)
         rec["fingerprint"] = self.fingerprint
+        rec["attempts"] = self.attempts
         if self.checksum is not None:
             rec["checksum"] = self.checksum
+        if self.error is not None:
+            rec["error"] = self.error
+        if self.degraded_to is not None:
+            rec["degraded_to"] = self.degraded_to
         return rec
 
     #: Dataclass fields surfaced as record keys (uniform fields win
     #: over ``meta`` on collision, matching :meth:`record`).
     _RECORD_FIELDS = ("kind", "verdict", "ok", "stats", "timings",
-                      "fingerprint")
+                      "fingerprint", "attempts")
+
+    #: Optional fields that appear as record keys only when set.
+    _OPTIONAL_FIELDS = ("checksum", "error", "degraded_to")
 
     def __getitem__(self, key: str) -> Any:
         # Field-direct reads: hot in the batch runner (job-order
         # reassembly, verdict comparison), so no record() rebuild.
         if key in self._RECORD_FIELDS:
             return getattr(self, key)
-        if key == "checksum" and self.checksum is not None:
-            return self.checksum
+        if key in self._OPTIONAL_FIELDS and getattr(self, key) is not None:
+            return getattr(self, key)
         return self.meta[key]
 
     def get(self, key: str, default: Any = None) -> Any:
@@ -209,8 +230,8 @@ class Decision:
     def __contains__(self, key: str) -> bool:
         if key in self._RECORD_FIELDS:
             return True
-        if key == "checksum":
-            return self.checksum is not None
+        if key in self._OPTIONAL_FIELDS:
+            return getattr(self, key) is not None
         return key in self.meta
 
     def keys(self):
@@ -388,6 +409,26 @@ class Session:
             raw=raw,
         )
 
+    @contextmanager
+    def _deadline(self, seconds: Optional[float]) -> Iterator[None]:
+        """Run the block under a per-call deadline (``None`` = no
+        deadline).  Enforced by both budget tiers -- the cooperative
+        ``check_deadline`` hooks in the fixpoint/antichain loops make
+        this work off the main thread too.  When the deadline fires,
+        this session's caches are dropped before the
+        :class:`~repro.budget.BudgetExhausted` propagates, since the
+        interrupt may have landed inside a cache-entry construction.
+        """
+        if seconds is None:
+            yield
+            return
+        try:
+            with time_budget(seconds):
+                yield
+        except BudgetExhausted:
+            self.clear_caches()
+            raise
+
     # ------------------------------------------------------------------
     # Forward containment (Theorem 5.12 / Corollary 5.7 / Theorem 6.4).
     # ------------------------------------------------------------------
@@ -395,17 +436,19 @@ class Session:
     def contains(self, program: Program, goal: str,
                  union: UnionOfConjunctiveQueries, *,
                  method: str = "auto", use_antichain: bool = True,
-                 kernel: Optional[KernelConfig] = None) -> Decision:
+                 kernel: Optional[KernelConfig] = None,
+                 deadline: Optional[float] = None) -> Decision:
         """Decide ``Q_Pi subseteq union`` (Theorem 5.12).
 
         ``method`` is ``"auto"`` / ``"tree"`` / ``"word"`` as in
         :func:`repro.core.contained_in_ucq`; ``kernel`` overrides the
-        session kernel for this call.  On non-containment the
-        ``certificate`` is the witness proof tree.
+        session kernel for this call; ``deadline`` bounds the call's
+        wall clock (every decision method takes one).  On
+        non-containment the ``certificate`` is the witness proof tree.
         """
         kernel = kernel or self.kernel
         start = perf_counter()
-        with self.activated():
+        with self._deadline(deadline), self.activated():
             result = _containment.decide_containment_in_ucq(
                 program, goal, union, method=method,
                 use_antichain=use_antichain, kernel=kernel,
@@ -420,24 +463,27 @@ class Session:
     def contains_cq(self, program: Program, goal: str,
                     theta: ConjunctiveQuery, *, method: str = "auto",
                     use_antichain: bool = True,
-                    kernel: Optional[KernelConfig] = None) -> Decision:
+                    kernel: Optional[KernelConfig] = None,
+                    deadline: Optional[float] = None) -> Decision:
         """Decide ``Q_Pi subseteq theta`` (Corollary 5.7)."""
         union = UnionOfConjunctiveQueries([theta], theta.arity)
         return self.contains(program, goal, union, method=method,
-                             use_antichain=use_antichain, kernel=kernel)
+                             use_antichain=use_antichain, kernel=kernel,
+                             deadline=deadline)
 
     def contains_nonrecursive(self, program: Program, goal: str,
                               nonrecursive: Program,
                               nonrecursive_goal: Optional[str] = None, *,
                               method: str = "auto",
-                              kernel: Optional[KernelConfig] = None) -> Decision:
+                              kernel: Optional[KernelConfig] = None,
+                              deadline: Optional[float] = None) -> Decision:
         """Decide ``Q_Pi subseteq Q'_Pi'`` for nonrecursive Pi'
         (Theorem 6.4): unfold Pi' to a UCQ, then decide containment."""
         start = perf_counter()
         union = unfold_nonrecursive(nonrecursive, nonrecursive_goal or goal)
         unfold_s = perf_counter() - start
         decision = self.contains(program, goal, union, method=method,
-                                 kernel=kernel)
+                                 kernel=kernel, deadline=deadline)
         decision.timings["unfold_s"] = round(unfold_s, 6)
         decision.stats.setdefault("union_disjuncts", len(union))
         return decision
@@ -447,11 +493,12 @@ class Session:
     # ------------------------------------------------------------------
 
     def cq_contained(self, theta: ConjunctiveQuery, program: Program,
-                     goal: str, *, engine: Optional[Engine] = None) -> Decision:
+                     goal: str, *, engine: Optional[Engine] = None,
+                     deadline: Optional[float] = None) -> Decision:
         """Decide ``theta subseteq Q_Pi`` by the canonical-database
         test [CK86, Sa88b], on this session's engine."""
         start = perf_counter()
-        with self.activated():
+        with self._deadline(deadline), self.activated():
             held = _containment.decide_cq_in_datalog(
                 theta, program, goal, engine=engine or self._engine)
         return self._decision(
@@ -461,10 +508,11 @@ class Session:
 
     def ucq_contained(self, union: UnionOfConjunctiveQueries,
                       program: Program, goal: str, *,
-                      engine: Optional[Engine] = None) -> Decision:
+                      engine: Optional[Engine] = None,
+                      deadline: Optional[float] = None) -> Decision:
         """Decide ``union subseteq Q_Pi`` disjunct-wise (Theorem 2.3)."""
         start = perf_counter()
-        with self.activated():
+        with self._deadline(deadline), self.activated():
             held = _containment.decide_ucq_in_datalog(
                 union, program, goal, engine=engine or self._engine)
         return self._decision(
@@ -476,10 +524,11 @@ class Session:
     def nonrecursive_contained(self, nonrecursive: Program,
                                nonrecursive_goal: str, program: Program,
                                goal: str, *,
-                               engine: Optional[Engine] = None) -> Decision:
+                               engine: Optional[Engine] = None,
+                               deadline: Optional[float] = None) -> Decision:
         """Decide ``Q'_Pi' subseteq Q_Pi`` for nonrecursive Pi'."""
         start = perf_counter()
-        with self.activated():
+        with self._deadline(deadline), self.activated():
             held = _containment.decide_nonrecursive_in_datalog(
                 nonrecursive, nonrecursive_goal, program, goal,
                 engine=engine or self._engine)
@@ -497,12 +546,13 @@ class Session:
                                    nonrecursive_goal: Optional[str] = None, *,
                                    method: str = "auto",
                                    engine: Optional[Engine] = None,
-                                   kernel: Optional[KernelConfig] = None) -> Decision:
+                                   kernel: Optional[KernelConfig] = None,
+                                   deadline: Optional[float] = None) -> Decision:
         """Decide ``Pi == Pi'`` for nonrecursive Pi' (Theorem 6.5),
         with per-phase timings (``unfold_s`` / ``backward_s`` /
         ``forward_s``)."""
         timings: Dict[str, float] = {}
-        with self.activated():
+        with self._deadline(deadline), self.activated():
             result = _equivalence.decide_equivalence(
                 program, nonrecursive, goal,
                 nonrecursive_goal=nonrecursive_goal, method=method,
@@ -522,10 +572,11 @@ class Session:
                           union: UnionOfConjunctiveQueries, *,
                           method: str = "auto",
                           engine: Optional[Engine] = None,
-                          kernel: Optional[KernelConfig] = None) -> Decision:
+                          kernel: Optional[KernelConfig] = None,
+                          deadline: Optional[float] = None) -> Decision:
         """Decide ``Pi == union`` (the Theorem 5.12 form)."""
         timings: Dict[str, float] = {}
-        with self.activated():
+        with self._deadline(deadline), self.activated():
             result = _equivalence.decide_equivalence_to_ucq(
                 program, goal, union, method=method,
                 engine=engine or self._engine, kernel=kernel or self.kernel,
@@ -542,7 +593,8 @@ class Session:
 
     def bounded(self, program: Program, goal: str, max_depth: int = 4, *,
                 method: str = "auto", engine: Optional[Engine] = None,
-                kernel: Optional[KernelConfig] = None) -> Decision:
+                kernel: Optional[KernelConfig] = None,
+                deadline: Optional[float] = None) -> Decision:
         """Search for a boundedness certificate up to ``max_depth``
         (semi-decision; ``bounded`` is True or None=unknown).  The
         ``certificate`` is the equivalent union of conjunctive queries
@@ -550,7 +602,7 @@ class Session:
         probe work."""
         timings: Dict[str, float] = {}
         stats: Dict[str, int] = {}
-        with self.activated():
+        with self._deadline(deadline), self.activated():
             # engine=None deliberately stays None: the search gives its
             # one-off candidate programs a throwaway probe engine so
             # they cannot churn this session's plan cache.
@@ -573,7 +625,8 @@ class Session:
     def evaluate(self, program: Program, database: Database,
                  max_stages: Optional[int] = None, *,
                  goal: Optional[str] = None,
-                 engine: Optional[Engine] = None) -> Decision:
+                 engine: Optional[Engine] = None,
+                 deadline: Optional[float] = None) -> Decision:
         """Bottom-up evaluation on this session's engine.
 
         The ``certificate`` (and ``raw``) is the full
@@ -582,7 +635,7 @@ class Session:
         ``checksum`` over the goal relation.
         """
         start = perf_counter()
-        with self.activated():
+        with self._deadline(deadline), self.activated():
             result = (engine or self._engine).evaluate(
                 program, database, max_stages=max_stages)
         timings = {"evaluate_s": perf_counter() - start}
@@ -602,24 +655,27 @@ class Session:
 
     def query(self, program: Program, database: Database, goal: str,
               max_stages: Optional[int] = None, *,
-              engine: Optional[Engine] = None) -> Decision:
+              engine: Optional[Engine] = None,
+              deadline: Optional[float] = None) -> Decision:
         """The relation ``goal_Pi(D)``: an evaluation decision whose
         ``raw`` is the frozenset of goal rows."""
         program.require_goal(goal)
         decision = self.evaluate(program, database, max_stages=max_stages,
-                                 goal=goal, engine=engine)
+                                 goal=goal, engine=engine,
+                                 deadline=deadline)
         decision.raw = decision.certificate.facts(goal)
         return decision
 
     def magic(self, program: Program, database: Database, goal: str,
               adornment: str, bindings, *,
-              engine: Optional[Engine] = None) -> Decision:
+              engine: Optional[Engine] = None,
+              deadline: Optional[float] = None) -> Decision:
         """Goal-directed evaluation via magic sets, with the
         direct-vs-magic derived-fact counts as ``stats``."""
         from .datalog.magic import derived_fact_count, magic_query
 
         engine = engine or self._engine
-        with self.activated():
+        with self._deadline(deadline), self.activated():
             start = perf_counter()
             rows = magic_query(program, database, goal, adornment,
                                bindings, engine=engine)
@@ -641,7 +697,8 @@ class Session:
     # ------------------------------------------------------------------
 
     def run_scenario(self, scenario, *, engine: Optional[Engine] = None,
-                     kernel: Optional[KernelConfig] = None) -> Decision:
+                     kernel: Optional[KernelConfig] = None,
+                     deadline: Optional[float] = None) -> Decision:
         """Execute a registry scenario (by name or object) under this
         session and check its verdict against constructed ground truth
         (``decision.ok``).
@@ -653,6 +710,13 @@ class Session:
         such scenarios register as ground truth -- and the session's
         caches are dropped, since the interrupt may have landed inside
         a cache-entry construction.
+
+        A caller ``deadline`` composes with the scenario budget by
+        tightest-wins.  The two exhaust differently: the scenario's
+        *own* budget firing is part of the scenario's expected verdict,
+        while a tighter caller deadline firing is an external timeout,
+        so :class:`~repro.budget.BudgetExhausted` propagates for the
+        resilience layer to classify.
         """
         from .workloads import scenarios as _scenarios
 
@@ -664,12 +728,15 @@ class Session:
         build_s = perf_counter() - start
         start = perf_counter()
         try:
-            with self.activated(), time_budget(budget):
+            with self._deadline(deadline), self.activated(), \
+                    time_budget(budget):
                 verdict, stats = _scenarios.kind_runner(scenario.kind)(
                     payload, engine or self._engine, kernel or self.kernel)
-        except BudgetExhausted:
-            verdict, stats = {"budget_exhausted": True}, {"budget_s": budget}
+        except BudgetExhausted as exhausted:
             self.clear_caches()
+            if budget is None or exhausted.seconds != budget:
+                raise
+            verdict, stats = {"budget_exhausted": True}, {"budget_s": budget}
         decide_s = perf_counter() - start
         return self._decision(
             scenario.kind, verdict,

@@ -14,6 +14,7 @@ MODULES = [
     "repro.datalog",
     "repro.lowerbounds",
     "repro.programs",
+    "repro.resilience",
     "repro.runner",
     "repro.trees",
     "repro.workloads",

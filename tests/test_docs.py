@@ -28,6 +28,7 @@ DOC_FILES = [
     "docs/ARCHITECTURE.md",
     "docs/BENCHMARKS.md",
     "docs/FUZZING.md",
+    "docs/RESILIENCE.md",
     "docs/THEORY.md",
 ]
 
