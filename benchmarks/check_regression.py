@@ -15,6 +15,10 @@ not a microbenchmark gate:
   matching records, so one lucky fast run cannot tighten the gate
   (one slow run loosens it instead -- the tolerant direction);
 * timings under ``--min-ms`` are ignored (pure jitter at smoke sizes);
+* throughput fields (``*_per_s``, e.g. the service's
+  ``decisions_per_s``) are gated in the opposite direction -- the
+  candidate fails when it falls below the *minimum* over the baseline
+  window by more than the threshold;
 * the check is **skipped** (exit 0, with a message) when the baseline
   was recorded on a different machine architecture or Python
   major.minor, since cross-machine medians are not comparable.
@@ -38,6 +42,11 @@ from typing import Dict, List
 #: Entry fields treated as timings (seconds).  Footprint fields
 #: (``*_peak_kb``) are tracked in the trajectory but not gated.
 TIMING_SUFFIX = "_s"
+
+#: Entry fields treated as throughputs (per second) -- gated in the
+#: opposite direction: lower is worse.  Checked *before* the timing
+#: suffix (``decisions_per_s`` also ends with ``_s``).
+THROUGHPUT_SUFFIX = "_per_s"
 
 
 def load_records(path: Path, smoke: bool) -> List[Dict]:
@@ -94,14 +103,20 @@ def main() -> int:
         return 0
     baselines = baselines[-args.history:]
 
-    # name -> field -> max seconds across the baseline window (the
-    # slowest recent accepted run is the tolerant reference point).
+    # name -> field -> reference value across the baseline window, in
+    # the tolerant direction per field kind: max seconds for timings
+    # (the slowest recent accepted run), min rate for throughputs (the
+    # weakest recent accepted run).
     floor: Dict[str, Dict[str, float]] = {}
     for record in baselines:
         for entry in record.get("entries", []):
             fields = floor.setdefault(entry["name"], {})
             for key, value in entry.items():
-                if key.endswith(TIMING_SUFFIX) and isinstance(value, (int, float)):
+                if not isinstance(value, (int, float)):
+                    continue
+                if key.endswith(THROUGHPUT_SUFFIX):
+                    fields[key] = min(fields.get(key, value), value)
+                elif key.endswith(TIMING_SUFFIX):
                     fields[key] = max(fields.get(key, value), value)
 
     failures = []
@@ -112,6 +127,18 @@ def main() -> int:
         for key, base in base_fields.items():
             value = entry.get(key)
             if not isinstance(value, (int, float)):
+                continue
+            if key.endswith(THROUGHPUT_SUFFIX):
+                # Throughput: regression is the candidate dropping
+                # below the weakest recent baseline by the threshold.
+                checked += 1
+                ratio = base / value if value else float("inf")
+                marker = "FAIL" if ratio > args.threshold else "ok  "
+                print(f"  {marker} {entry['name']:42s} {key:16s} "
+                      f"{base:9.1f}/s -> {value:9.1f}/s "
+                      f"({ratio:.2f}x slower)")
+                if ratio > args.threshold:
+                    failures.append((entry["name"], key, ratio))
                 continue
             if base < min_seconds and value < min_seconds:
                 continue
@@ -125,10 +152,10 @@ def main() -> int:
                 failures.append((entry["name"], key, ratio))
 
     if failures:
-        print(f"check_regression: {len(failures)} timing(s) regressed "
+        print(f"check_regression: {len(failures)} metric(s) regressed "
               f">{args.threshold}x against {args.baseline}")
         return 1
-    print(f"check_regression: {checked} timing(s) within {args.threshold}x "
+    print(f"check_regression: {checked} metric(s) within {args.threshold}x "
           f"of the committed baseline ({len(baselines)} record window)")
     return 0
 

@@ -11,6 +11,12 @@ subcommand     what it does
                ``equivalence`` (the README quickstart), or
                ``boundedness``; prints the uniform ``Decision`` record
 ``eval``       bottom-up evaluation of a program over a facts file
+``serve``      the long-lived decision service daemon
+               (:mod:`repro.service`): newline-delimited JSON over a
+               unix socket (and/or TCP), request coalescing, bounded
+               admission, per-worker Sessions
+``request``    send one JSON request line to a running daemon and
+               print its response (the CI/docs smoke client)
 ``scenarios``  the scenario-matrix batch runner (the former
                ``python -m repro.runner`` CLI, unchanged flags)
 ``fuzz``       the differential fuzz sweep (:mod:`repro.fuzz`): random
@@ -34,6 +40,9 @@ Examples::
     python -m repro decide containment --program prog.dl --goal p \\
         --union-depth 2
     python -m repro eval --program tc.dl --db facts.dl --goal p
+    python -m repro serve --socket /tmp/repro.sock --workers 2
+    python -m repro request --socket /tmp/repro.sock \\
+        '{"op": "scenario", "scenario": "bounded_buys"}'
     python -m repro scenarios --scenarios tag:bench --workers 4
     python -m repro fuzz --seed 0 --iterations 50
     python -m repro bench --smoke --out /tmp/bench-smoke
@@ -176,6 +185,43 @@ def _parser() -> argparse.ArgumentParser:
                        help="stage bound (the paper's Q^i semantics)")
     _add_config_flags(evalp)
 
+    serve = sub.add_parser(
+        "serve", help="run the decision service daemon (repro.service)")
+    serve.add_argument("--socket", default=None,
+                       help="unix socket path to bind")
+    serve.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                       help="TCP endpoint to bind (port 0 picks a free "
+                            "one; printed on the ready line)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="pool workers (default: 2)")
+    serve.add_argument("--executor", choices=("process", "thread"),
+                       default="process",
+                       help="worker executor (default: process)")
+    serve.add_argument("--queue", type=int, default=64,
+                       help="admission capacity: max requests in service "
+                            "at once (default: 64)")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="tries per request before a typed quarantine "
+                            "error (default: 3)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="default per-request deadline in seconds "
+                            "(a request's own deadline_s overrides)")
+    serve.add_argument("--chaos", default=None,
+                       help="fault-schedule spec for drills (same grammar "
+                            "as REPRO_CHAOS)")
+
+    request = sub.add_parser(
+        "request", help="send one JSON request to a running daemon")
+    request.add_argument("line",
+                         help="the request JSON object, e.g. "
+                              "'{\"op\": \"status\"}'")
+    request.add_argument("--socket", default=None,
+                         help="unix socket path of the daemon")
+    request.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                         help="TCP endpoint of the daemon")
+    request.add_argument("--timeout", type=float, default=60.0,
+                         help="client timeout in seconds (default: 60)")
+
     fuzz = sub.add_parser(
         "fuzz", help="differential fuzz sweep; exits 1 on any divergence")
     fuzz.add_argument("--seed", type=int, default=0,
@@ -272,6 +318,70 @@ def _cmd_eval(args) -> int:
     return 0
 
 
+def _parse_tcp(spec: Optional[str]):
+    if spec is None:
+        return None
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ReproError(f"--tcp expects HOST:PORT, got {spec!r}")
+    return (host or "127.0.0.1", int(port))
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from .service import PoolConfig, ServiceConfig, ServiceServer
+
+    try:
+        config = ServiceConfig(
+            socket_path=args.socket,
+            tcp=_parse_tcp(args.tcp),
+            capacity=args.queue,
+            pool=PoolConfig(workers=args.workers, executor=args.executor,
+                            max_attempts=args.max_attempts,
+                            deadline_s=args.deadline, chaos=args.chaos))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def run() -> None:
+        server = ServiceServer(config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, server.request_stop)
+        # The ready line: flushed so wrappers (CI, the load driver)
+        # can wait for it before connecting.
+        print(f"repro-service ready on {' '.join(server.endpoints)} "
+              f"(workers={config.pool.workers} "
+              f"executor={config.pool.executor} "
+              f"queue={config.capacity})", flush=True)
+        await server.serve_until_stopped()
+
+    asyncio.run(run())
+    return 0
+
+
+def _cmd_request(args) -> int:
+    from .service.client import ServiceClient
+
+    if (args.socket is None) == (args.tcp is None):
+        print("request requires exactly one of --socket / --tcp",
+              file=sys.stderr)
+        return 2
+    try:
+        fields = json.loads(args.line)
+    except json.JSONDecodeError as exc:
+        print(f"error: request is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    with ServiceClient(socket_path=args.socket, tcp=_parse_tcp(args.tcp),
+                       timeout=args.timeout) as client:
+        response = client.request(fields)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("type") in ("decision", "status", "ok") else 1
+
+
 def _cmd_fuzz(args) -> int:
     from .fuzz import run_fuzz
 
@@ -336,6 +446,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_decide(args)
         if args.command == "eval":
             return _cmd_eval(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "request":
+            return _cmd_request(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
     except BudgetExhausted as exc:

@@ -169,16 +169,38 @@ def build_jobs(scenarios: Sequence[str],
 _SESSIONS: Dict[str, Session] = {}
 
 
-def _session_for(label: str, cache: str) -> Session:
+def worker_session(label: str, cache: str = "warm",
+                   sessions: Optional[Dict[str, Session]] = None,
+                   name: str = "runner",
+                   kernel: Optional[str] = None) -> Session:
+    """The per-worker :class:`~repro.session.Session` for an engine
+    label: reused across warm jobs (compiled plans and automaton
+    caches amortize), fresh and private in cold mode.
+
+    *sessions* overrides the store the warm sessions live in (default:
+    this module's per-process dict) -- the decision service passes a
+    per-thread store so its thread-executor workers stay isolated
+    while sharing this lifecycle.  *kernel* pins the session's kernel
+    config (and joins the store key), so decisions report the exact
+    (engine, kernel) fingerprint; ``None`` keeps the batch runner's
+    behaviour of one session per engine with per-call kernels.
+    """
+    key = label if kernel is None else f"{label}/{kernel}"
+    kernel_config = None if kernel is None else KERNEL_CONFIGS[kernel]
     if cache == "cold":
-        return Session(engine=ENGINE_CONFIGS[label], cache="private",
-                       name=f"runner-cold-{label}")
-    session = _SESSIONS.get(label)
+        return Session(engine=ENGINE_CONFIGS[label], kernel=kernel_config,
+                       cache="private", name=f"{name}-cold-{key}")
+    store = _SESSIONS if sessions is None else sessions
+    session = store.get(key)
     if session is None:
-        session = _SESSIONS[label] = Session(
-            engine=ENGINE_CONFIGS[label], cache="private",
-            name=f"runner-{label}")
+        session = store[key] = Session(
+            engine=ENGINE_CONFIGS[label], kernel=kernel_config,
+            cache="private", name=f"{name}-{key}")
     return session
+
+
+def _session_for(label: str, cache: str) -> Session:
+    return worker_session(label, cache)
 
 
 def _run_cell(job: Job, engine_label: str, kernel_label: str,

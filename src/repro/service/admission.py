@@ -1,0 +1,90 @@
+"""Admission control: a bounded in-service count with typed overload.
+
+The daemon must degrade deterministically under overload: decisions
+are EXPTIME-hard, so an unbounded queue turns a traffic spike into
+unbounded memory growth and minutes-later answers nobody is waiting
+for.  Instead, at most ``capacity`` requests may be *in service*
+(admitted and not yet completed -- queued for a worker or executing)
+at once; request ``capacity + 1`` is refused on arrival with a typed
+``overload`` response carrying a ``retry_after_ms`` hint, and the
+connection stays healthy.
+
+Two deliberate non-slots:
+
+* **Coalesced joiners are free.**  A request that coalesces onto an
+  in-flight computation consumes no admission slot -- it adds no work,
+  only a waiter -- so a thundering herd of identical requests can
+  never saturate the queue (the server admits the leader and coalesces
+  the herd).
+* **Control ops are free.**  ``status`` and ``shutdown`` never queue
+  behind decisions; an operator can always observe a saturated server.
+
+The controller is used from the event loop only (asyncio is
+single-threaded), so plain counters are race-free by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = ["AdmissionController"]
+
+
+@dataclass
+class AdmissionController:
+    """Bounded admission with deterministic rejection.
+
+        >>> admission = AdmissionController(capacity=2)
+        >>> admission.try_admit(), admission.try_admit(), admission.try_admit()
+        (True, True, False)
+        >>> admission.release()
+        >>> admission.try_admit()
+        True
+        >>> admission.stats()["rejected"]
+        1
+    """
+
+    capacity: int = 64
+    retry_after_ms: float = 50.0
+
+    def __post_init__(self):
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        self._depth = 0
+        self._high_water = 0
+        self._admitted = 0
+        self._rejected = 0
+
+    @property
+    def depth(self) -> int:
+        """Requests currently in service (admitted, not completed)."""
+        return self._depth
+
+    def try_admit(self) -> bool:
+        """Claim one slot; ``False`` (and a recorded rejection) when
+        the service is at capacity."""
+        if self._depth >= self.capacity:
+            self._rejected += 1
+            return False
+        self._depth += 1
+        self._admitted += 1
+        self._high_water = max(self._high_water, self._depth)
+        return True
+
+    def release(self) -> None:
+        """Return a slot (request completed, failed, or quarantined).
+        Every successful :meth:`try_admit` must be paired with exactly
+        one release -- the server does this in a ``finally``."""
+        if self._depth <= 0:
+            raise RuntimeError("release() without a matching try_admit()")
+        self._depth -= 1
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "depth": self._depth,
+            "capacity": self.capacity,
+            "high_water": self._high_water,
+            "admitted": self._admitted,
+            "rejected": self._rejected,
+        }

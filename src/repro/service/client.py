@@ -1,0 +1,108 @@
+"""A small blocking client for the decision service.
+
+Speaks the newline-delimited JSON protocol over a unix socket or TCP.
+Used by ``python -m repro request``, the load driver, the docs
+snippets, and the protocol tests; it is deliberately dependency-free
+so third-party callers can crib it verbatim.
+
+Two modes:
+
+* :meth:`ServiceClient.request` -- send one request, block for its
+  response.  Ids are filled in automatically when absent.
+* :meth:`ServiceClient.request_many` -- pipeline a batch on one
+  connection and collect all responses, matching on ``id`` (the
+  server answers out of order).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+
+from .protocol import MAX_LINE_BYTES
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One connection to a running service.
+
+    Exactly one of ``socket_path`` / ``tcp`` must be given.  Usable as
+    a context manager; the connection is opened eagerly so connect
+    errors surface at construction.
+    """
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 tcp: Optional[Tuple[str, int]] = None,
+                 timeout: Optional[float] = 60.0):
+        if (socket_path is None) == (tcp is None):
+            raise ValueError("pass exactly one of socket_path / tcp")
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        else:
+            self._sock = socket.create_connection(tcp, timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+
+    def _auto_id(self) -> str:
+        self._next_id += 1
+        return f"c{self._next_id}"
+
+    def send(self, fields: Dict[str, Any]) -> Any:
+        """Write one request line; returns the id it was sent with."""
+        fields = dict(fields)
+        if "id" not in fields:
+            fields["id"] = self._auto_id()
+        line = json.dumps(fields, sort_keys=True,
+                          separators=(",", ":")).encode() + b"\n"
+        if len(line) > MAX_LINE_BYTES:
+            raise ValueError(f"request exceeds {MAX_LINE_BYTES} bytes")
+        self._sock.sendall(line)
+        return fields["id"]
+
+    def recv(self) -> Dict[str, Any]:
+        """Read one response line (whatever request it answers)."""
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return json.loads(line)
+
+    def request(self, fields: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request and block for *its* response."""
+        request_id = self.send(fields)
+        while True:
+            response = self.recv()
+            if response.get("id") == request_id:
+                return response
+
+    def request_many(self,
+                     batch: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Pipeline *batch* on this connection; responses are returned
+        in request order regardless of completion order."""
+        ids = [self.send(fields) for fields in batch]
+        by_id: Dict[Any, Dict[str, Any]] = {}
+        while len(by_id) < len(ids):
+            response = self.recv()
+            if response.get("id") in set(ids):
+                by_id[response["id"]] = response
+        return [by_id[request_id] for request_id in ids]
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,90 @@
+"""Request coalescing: identical in-flight requests share one
+computation.
+
+Served decision traffic is heavily repetitive -- the same containment
+question from many clients, the same scenario re-requested while the
+first answer is still being computed.  Decisions are pure functions of
+(configuration, inputs), which the coalescing key captures exactly
+(:func:`repro.service.protocol.coalesce_key`: Session config
+fingerprint + canonical payload digest), so the service may run one
+computation and fan its record out to every waiter -- each response is
+bit-identical because they serialize the *same* record dict.
+
+Semantics (pinned by ``tests/test_service.py``):
+
+* Coalescing applies to **in-flight** requests only: the leader's key
+  is published when it is admitted and retired when its computation
+  resolves, success or failure.  A request arriving after resolution
+  starts a fresh computation -- this is deduplication of concurrent
+  work, not a result cache (the Session's own caches already make the
+  recomputation warm).
+* Joiners share the leader's **outcome**, including typed errors: if
+  the one computation times out or is quarantined, every waiter gets
+  the same error category.  Sharing failures is what prevents a
+  poisoned request from being recomputed once per waiter.
+* Joiners never consume admission slots (see
+  :mod:`repro.service.admission`).
+
+Used from the event loop only; the future per key is an
+``asyncio.Future`` resolved exactly once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional
+
+__all__ = ["Coalescer"]
+
+
+class Coalescer:
+    """The in-flight computation table: key -> shared future."""
+
+    def __init__(self):
+        self._inflight: Dict[str, "asyncio.Future[Any]"] = {}
+        self._computed = 0
+        self._joined = 0
+
+    def join(self, key: str) -> Optional["asyncio.Future[Any]"]:
+        """The shared future of an in-flight identical request, or
+        ``None`` when this caller must lead (compute) instead."""
+        future = self._inflight.get(key)
+        if future is not None:
+            self._joined += 1
+        return future
+
+    def lead(self, key: str) -> "asyncio.Future[Any]":
+        """Publish a fresh future for *key* and become its computer.
+        The leader must resolve it via :meth:`resolve` in all paths."""
+        if key in self._inflight:
+            raise RuntimeError(f"key already in flight: {key}")
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self._computed += 1
+        return future
+
+    def resolve(self, key: str, result: Any = None,
+                error: Optional[BaseException] = None) -> None:
+        """Retire *key* and wake every joiner with the shared outcome.
+        After this, an identical request starts a new computation."""
+        future = self._inflight.pop(key)
+        if error is not None:
+            future.set_exception(error)
+            # The leader handles the error itself; if no joiner ever
+            # awaits, don't let asyncio log "exception never retrieved".
+            future.exception()
+        else:
+            future.set_result(result)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def stats(self) -> Dict[str, int]:
+        """``computed`` counts led (actual) computations; ``joined``
+        counts requests served by piggybacking on one."""
+        return {
+            "computed": self._computed,
+            "joined": self._joined,
+            "inflight": len(self._inflight),
+        }

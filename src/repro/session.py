@@ -43,7 +43,7 @@ import hashlib
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field, replace
 from time import perf_counter
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Mapping, Optional
 
 from . import context as _context
 from .automata.kernel import KernelConfig
@@ -67,6 +67,7 @@ __all__ = [
     "CachePolicy",
     "Decision",
     "Session",
+    "config_fingerprint",
     "current_session",
     "default_session",
     "rows_checksum",
@@ -114,6 +115,24 @@ def rows_checksum(rows) -> str:
         for row in rows
     )
     return hashlib.sha1(repr(normalized).encode()).hexdigest()[:16]
+
+
+def config_fingerprint(engine: "EngineConfig", kernel: KernelConfig,
+                       cache: "CachePolicy") -> str:
+    """The stable digest of a (engine, kernel, cache-policy)
+    configuration triple -- what :attr:`Session.fingerprint` reports,
+    computable without constructing a session (the decision service
+    derives coalescing keys from it)."""
+    config = {
+        "engine": asdict(engine),
+        "kernel": asdict(kernel),
+        "cache": asdict(cache),
+    }
+    blob = repr(sorted(
+        (section, sorted(values.items()))
+        for section, values in config.items()
+    ))
+    return hashlib.sha1(blob.encode()).hexdigest()[:16]
 
 
 #: Per-kind verdict key that drives ``bool(decision)``.
@@ -243,6 +262,25 @@ class Decision:
         and engine results stay in the worker)."""
         return replace(self, certificate=None, raw=None)
 
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "Decision":
+        """Rebuild a (payload-stripped) decision from its
+        :meth:`record` dict -- the inverse the decision service's wire
+        format relies on: non-uniform keys land back in ``meta``.
+
+            >>> d = Decision("containment", {"contained": True},
+            ...              meta={"scenario": "x"})
+            >>> Decision.from_record(d.record()) == d
+            True
+        """
+        record = dict(record)
+        kwargs: Dict[str, Any] = {
+            field_name: record.pop(field_name)
+            for field_name in cls._RECORD_FIELDS + cls._OPTIONAL_FIELDS
+            if field_name in record
+        }
+        return cls(meta=record, **kwargs)
+
 
 class Session:
     """A configured, isolated entry point to every decision procedure.
@@ -313,12 +351,8 @@ class Session:
         verdicts, so scope/name are excluded deliberately -- only the
         ``cache`` policy dict participates)."""
         if self._fingerprint is None:
-            config = self.config
-            blob = repr(sorted(
-                (section, sorted(values.items()))
-                for section, values in config.items()
-            ))
-            self._fingerprint = hashlib.sha1(blob.encode()).hexdigest()[:16]
+            self._fingerprint = config_fingerprint(
+                self.engine_config, self.kernel, self.cache_policy)
         return self._fingerprint
 
     def with_config(self, *, engine: Optional[Any] = None,

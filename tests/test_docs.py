@@ -29,6 +29,7 @@ DOC_FILES = [
     "docs/BENCHMARKS.md",
     "docs/FUZZING.md",
     "docs/RESILIENCE.md",
+    "docs/SERVICE.md",
     "docs/THEORY.md",
 ]
 
