@@ -65,29 +65,55 @@ def _percentile(samples, q):
     return ordered[index]
 
 
-def drive(socket_path: str, clients: int, per_client: int):
+def round_robin_schedule(client_index: int, per_client: int):
+    """The classic mix: every scenario equally often, phase-shifted
+    per client so the service sees all of them concurrently."""
+    return [MIX[(client_index + i) % len(MIX)]
+            for i in range(per_client)]
+
+
+def zipf_schedule(client_index: int, per_client: int, seed: int = 1992):
+    """Repeat-heavy traffic: scenario ranks drawn Zipf-style (rank k
+    weighted 1/(k+1)), deterministic per (seed, client).  This is the
+    distribution real decision services see -- a hot head of repeated
+    questions and a long cold tail -- and what makes a served-decision
+    result cache pay."""
+    import random
+
+    rng = random.Random(seed * 1009 + client_index)
+    weights = [1.0 / (rank + 1) for rank in range(len(MIX))]
+    return rng.choices(MIX, weights=weights, k=per_client)
+
+
+def drive(socket_path: str, clients: int, per_client: int,
+          schedule=round_robin_schedule):
     """Run the load: each client thread issues its share of the mix
     serially (one in flight per connection; concurrency comes from the
-    client count).  Returns (latencies_s, responses_by_scenario)."""
-    latencies = []
+    client count).  *schedule* maps ``(client_index, per_client)`` to
+    that client's scenario list.  Returns ``(samples, by_scenario,
+    errors, wall)`` where each sample is ``(scenario, latency_s,
+    cached)``."""
+    samples = []
     by_scenario = {}
     errors = []
     lock = threading.Lock()
 
     def one_client(client_index: int) -> None:
+        plan = schedule(client_index, per_client)
         with ServiceClient(socket_path=socket_path, timeout=300.0) as client:
-            for i in range(per_client):
-                scenario = MIX[(client_index + i) % len(MIX)]
+            for scenario in plan:
                 started = time.perf_counter()
                 response = client.request(
                     {"op": "scenario", "scenario": scenario})
                 elapsed = time.perf_counter() - started
                 with lock:
-                    latencies.append(elapsed)
                     if response["type"] == "decision":
+                        samples.append((scenario, elapsed,
+                                        response.get("cached", False)))
                         by_scenario.setdefault(scenario, []).append(
                             response["decision"])
                     else:
+                        samples.append((scenario, elapsed, False))
                         errors.append((scenario, response))
 
     threads = [threading.Thread(target=one_client, args=(index,))
@@ -98,7 +124,7 @@ def drive(socket_path: str, clients: int, per_client: int):
     for thread in threads:
         thread.join()
     wall = time.perf_counter() - wall_started
-    return latencies, by_scenario, errors, wall
+    return samples, by_scenario, errors, wall
 
 
 def stable_blob(record: dict) -> str:
@@ -129,20 +155,84 @@ def check_consistency(by_scenario) -> int:
     return divergences
 
 
+def zipf_cache_phase(socket_dir: str, clients: int, per_client: int,
+                     workers: int, executor: str, capacity: int):
+    """The repeat-traffic phase: a fresh daemon with the result cache
+    on, driven with Zipf-distributed repeats.  Records the cache hit
+    rate and the hit-vs-miss latency split -- a cached p50 must be a
+    small fraction of the computed p50 for the cache to be worth its
+    memory -- and verifies cached replays stay bit-identical.
+    Returns ``(entry, failures)``."""
+    sock = str(Path(socket_dir) / "repro-zipf.sock")
+    config = ServiceConfig(
+        socket_path=sock, result_cache=capacity,
+        pool=PoolConfig(workers=workers, executor=executor))
+    with start_in_thread(config):
+        samples, by_scenario, errors, wall = drive(
+            sock, clients, per_client, schedule=zipf_schedule)
+        with ServiceClient(socket_path=sock, timeout=60.0) as client:
+            status = client.request({"op": "status"})["status"]
+
+    failures = len(errors)
+    for scenario, response in errors[:5]:
+        print(f"bench_service: zipf ERROR response on {scenario}: "
+              f"{response}")
+    failures += check_consistency(by_scenario)
+
+    latencies = [latency for _, latency, _ in samples]
+    hit_latencies = [latency for _, latency, cached in samples if cached]
+    miss_latencies = [latency for _, latency, cached in samples
+                      if not cached]
+    cache = status["result_cache"]
+    total = len(samples)
+    entry = {
+        "name": "service_zipf_cache",
+        "clients": clients,
+        "requests": total,
+        "workers": workers,
+        "executor": executor,
+        "result_cache": capacity,
+        "cache_hit_rate": cache["hit_rate"],
+        "p50_s": round(_percentile(latencies, 0.50), 6),
+        "p99_s": round(_percentile(latencies, 0.99), 6),
+        "hit_p50_s": (round(_percentile(hit_latencies, 0.50), 6)
+                      if hit_latencies else None),
+        "miss_p50_s": (round(_percentile(miss_latencies, 0.50), 6)
+                       if miss_latencies else None),
+        "decisions_per_s": round(total / wall, 1),
+        "wall_s": round(wall, 3),
+    }
+    hit_p50 = entry["hit_p50_s"]
+    miss_p50 = entry["miss_p50_s"]
+    ratio = (f"{hit_p50 / miss_p50:.1%} of computed p50"
+             if hit_p50 and miss_p50 else "n/a")
+    print(f"bench_service: zipf: {total} decisions in {wall:.2f}s -- "
+          f"hit rate {cache['hit_rate']:.0%}  "
+          f"hit p50 {1000 * (hit_p50 or 0):.2f}ms ({ratio})  "
+          f"miss p50 {1000 * (miss_p50 or 0):.2f}ms  "
+          f"{entry['decisions_per_s']:.1f} decisions/s")
+    return entry, failures
+
+
 def chaos_drill(socket_dir: str, clients: int, per_client: int,
-                workers: int, clean_blobs: dict) -> int:
+                workers: int, clean_blobs: dict,
+                result_cache: int = 0) -> int:
     """The seeded drill: same load, but the poisoned scenario crashes
     its worker on every attempt.  Poisoned requests must quarantine
     with typed ``crash`` errors; every other scenario's record must be
-    bit-identical to the clean run's.  Returns the failure count."""
+    bit-identical to the clean run's.  Runs with the result cache
+    *enabled* when ``result_cache > 0`` -- cached replays must stay
+    bit-identical under chaos, and failures must never be cached.
+    Returns the failure count."""
     sock = str(Path(socket_dir) / "repro-chaos.sock")
     config = ServiceConfig(
         socket_path=sock,
+        result_cache=result_cache,
         pool=PoolConfig(workers=workers, executor="process",
                         max_attempts=2,
                         chaos=f"crash:scenario={POISONED},attempt=*"))
     with start_in_thread(config):
-        latencies, by_scenario, errors, wall = drive(
+        samples, by_scenario, errors, wall = drive(
             sock, clients, per_client)
 
     failures = 0
@@ -193,8 +283,14 @@ def main() -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="CI scale: 2 clients x 10 requests")
     parser.add_argument("--chaos-drill", action="store_true",
-                        help="also run the seeded crash drill and "
-                             "verify zero verdict divergences")
+                        help="also run the seeded crash drill (result "
+                             "cache enabled) and verify zero verdict "
+                             "divergences")
+    parser.add_argument("--result-cache", type=int, default=64,
+                        metavar="N",
+                        help="result-cache capacity for the zipf "
+                             "repeat-traffic phase and the chaos drill "
+                             "(default: 64; 0 skips the phase)")
     parser.add_argument("--out", type=Path, default=None,
                         help="directory for the trajectory JSON "
                              "(default: repo root; --smoke skips the "
@@ -215,7 +311,7 @@ def main() -> int:
             pool=PoolConfig(workers=args.workers,
                             executor=args.executor)))
     try:
-        latencies, by_scenario, errors, wall = drive(
+        samples, by_scenario, errors, wall = drive(
             sock, clients, per_client)
         with ServiceClient(socket_path=sock, timeout=60.0) as client:
             status = client.request({"op": "status"})["status"]
@@ -223,6 +319,7 @@ def main() -> int:
         if handle is not None:
             handle.stop()
 
+    latencies = [latency for _, latency, _ in samples]
     total = len(latencies)
     if errors:
         for scenario, response in errors[:5]:
@@ -252,6 +349,15 @@ def main() -> int:
           f"p99 {entry['p99_s'] * 1000:.2f}ms  "
           f"{entry['decisions_per_s']:.1f} decisions/s  "
           f"({entry['coalesced']} coalesced)")
+    entries = [entry]
+
+    if args.socket is None and args.result_cache > 0:
+        zipf_entry, zipf_failures = zipf_cache_phase(
+            tmp, clients, per_client, workers=args.workers,
+            executor=args.executor, capacity=args.result_cache)
+        if zipf_failures:
+            return 1
+        entries.append(zipf_entry)
 
     drill_failures = 0
     if args.chaos_drill:
@@ -259,11 +365,12 @@ def main() -> int:
                        for scenario, records in by_scenario.items()}
         drill_failures = chaos_drill(tmp, clients=2, per_client=5,
                                      workers=args.workers,
-                                     clean_blobs=clean_blobs)
+                                     clean_blobs=clean_blobs,
+                                     result_cache=args.result_cache)
 
     record = run_metadata(find_repo_root())
     record["smoke"] = bool(args.smoke)
-    record["entries"] = [entry]
+    record["entries"] = entries
     if args.smoke and args.out is None:
         print("bench_service: smoke run, trajectory not written "
               "(pass --out to write)")

@@ -19,6 +19,10 @@ not a microbenchmark gate:
   ``decisions_per_s``) are gated in the opposite direction -- the
   candidate fails when it falls below the *minimum* over the baseline
   window by more than the threshold;
+* rate fields (``*_rate``, e.g. the service's ``cache_hit_rate``)
+  **warn without failing** when they drop more than 20% below the
+  weakest recent baseline -- hit rates depend on traffic shape, so a
+  drop deserves a log line, not a blocked merge;
 * the check is **skipped** (exit 0, with a message) when the baseline
   was recorded on a different machine architecture or Python
   major.minor, since cross-machine medians are not comparable.
@@ -47,6 +51,17 @@ TIMING_SUFFIX = "_s"
 #: opposite direction: lower is worse.  Checked *before* the timing
 #: suffix (``decisions_per_s`` also ends with ``_s``).
 THROUGHPUT_SUFFIX = "_per_s"
+
+#: Entry fields treated as ratios in [0, 1] where higher is better
+#: (e.g. the service's ``cache_hit_rate``).  These **warn, never
+#: fail**: a hit rate is a property of the traffic shape as much as
+#: the server, so a drop is worth a loud line in the log but must not
+#: block a merge.
+RATE_SUFFIX = "_rate"
+
+#: Warn when a rate drops below this fraction of the weakest recent
+#: baseline (0.8 = a more-than-20% drop).
+RATE_WARN_FRACTION = 0.8
 
 
 def load_records(path: Path, smoke: bool) -> List[Dict]:
@@ -116,10 +131,13 @@ def main() -> int:
                     continue
                 if key.endswith(THROUGHPUT_SUFFIX):
                     fields[key] = min(fields.get(key, value), value)
+                elif key.endswith(RATE_SUFFIX):
+                    fields[key] = min(fields.get(key, value), value)
                 elif key.endswith(TIMING_SUFFIX):
                     fields[key] = max(fields.get(key, value), value)
 
     failures = []
+    warnings = 0
     checked = 0
     min_seconds = args.min_ms / 1000.0
     for entry in candidate.get("entries", []):
@@ -127,6 +145,17 @@ def main() -> int:
         for key, base in base_fields.items():
             value = entry.get(key)
             if not isinstance(value, (int, float)):
+                continue
+            if key.endswith(RATE_SUFFIX):
+                # Rates warn only: traffic-shape-dependent, not a
+                # merge blocker.
+                checked += 1
+                dropped = value < base * RATE_WARN_FRACTION
+                marker = "WARN" if dropped else "ok  "
+                print(f"  {marker} {entry['name']:42s} {key:16s} "
+                      f"{base:9.1%} -> {value:9.1%}")
+                if dropped:
+                    warnings += 1
                 continue
             if key.endswith(THROUGHPUT_SUFFIX):
                 # Throughput: regression is the candidate dropping
@@ -151,6 +180,11 @@ def main() -> int:
             if ratio > args.threshold:
                 failures.append((entry["name"], key, ratio))
 
+    if warnings:
+        print(f"check_regression: WARNING -- {warnings} rate metric(s) "
+              f"dropped more than "
+              f"{1 - RATE_WARN_FRACTION:.0%} below the baseline window "
+              f"(not a failure)")
     if failures:
         print(f"check_regression: {len(failures)} metric(s) regressed "
               f">{args.threshold}x against {args.baseline}")

@@ -209,6 +209,20 @@ def _parser() -> argparse.ArgumentParser:
     serve.add_argument("--chaos", default=None,
                        help="fault-schedule spec for drills (same grammar "
                             "as REPRO_CHAOS)")
+    serve.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                       help="warm-state snapshot directory: respawned "
+                            "workers restore plans/images/automata from "
+                            "it instead of cold-starting (defaults to "
+                            "REPRO_SNAPSHOT_DIR)")
+    serve.add_argument("--result-cache", type=int, default=0, metavar="N",
+                       help="served-decision result cache capacity "
+                            "(entries; default 0 = off).  Hits replay "
+                            "the stored record without an admission "
+                            "slot or a worker dispatch")
+    serve.add_argument("--result-cache-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="expire result-cache entries after this "
+                            "many seconds (default: no expiry)")
 
     request = sub.add_parser(
         "request", help="send one JSON request to a running daemon")
@@ -338,9 +352,12 @@ def _cmd_serve(args) -> int:
             socket_path=args.socket,
             tcp=_parse_tcp(args.tcp),
             capacity=args.queue,
+            result_cache=args.result_cache,
+            result_cache_ttl_s=args.result_cache_ttl,
             pool=PoolConfig(workers=args.workers, executor=args.executor,
                             max_attempts=args.max_attempts,
-                            deadline_s=args.deadline, chaos=args.chaos))
+                            deadline_s=args.deadline, chaos=args.chaos,
+                            snapshot_dir=args.snapshot_dir))
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

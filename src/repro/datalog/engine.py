@@ -295,6 +295,7 @@ def seminaive_evaluate(program: Program, database: Database,
 
 _STRATEGIES = ("auto", "naive", "seminaive")
 _BACKENDS = ("columnar", "rows")
+_JOINS = ("fused", "basic")
 
 
 @dataclass(frozen=True)
@@ -314,6 +315,15 @@ class EngineConfig:
         ``"rows"`` (:mod:`repro.datalog.plan`'s row-at-a-time
         :class:`~repro.datalog.plan.PlanStore`, kept as the reference
         path).  Ignored when ``compiled=False``.
+    ``joins``
+        Batch join kernels of the columnar backend: ``"fused"`` (the
+        default -- bitmap semijoin pre-filters, radix-partitioned hash
+        joins, fused filter+project with dead-register elimination and
+        materialized-view reuse; see
+        :func:`~repro.datalog.columns.execute_batch_fused`) or
+        ``"basic"`` (the PR 4 reference kernels, kept as the
+        differential baseline).  Ignored by the ``"rows"`` backend and
+        the interpretive path.
     ``interning`` / ``indexing``
         Toggles of the ``"rows"`` backend: intern constants to small
         ints; maintain per-(predicate, column) hash indexes.  The
@@ -325,6 +335,7 @@ class EngineConfig:
     strategy: str = "auto"
     compiled: bool = True
     backend: str = "columnar"
+    joins: str = "fused"
     interning: bool = True
     indexing: bool = True
 
@@ -336,6 +347,10 @@ class EngineConfig:
         if self.backend not in _BACKENDS:
             raise ValidationError(
                 f"unknown backend {self.backend!r}; expected one of {_BACKENDS}"
+            )
+        if self.joins not in _JOINS:
+            raise ValidationError(
+                f"unknown joins {self.joins!r}; expected one of {_JOINS}"
             )
 
 
@@ -363,7 +378,8 @@ class Engine:
         if cfg.backend == "columnar":
             runner = columnar_naive if use_naive else columnar_seminaive
             idb, stages, fixpoint = runner(program, database, max_stages,
-                                           cache=self._plans)
+                                           cache=self._plans,
+                                           joins=cfg.joins)
         else:
             runner = compiled_naive if use_naive else compiled_seminaive
             idb, stages, fixpoint = runner(
@@ -382,6 +398,17 @@ class Engine:
     def clear_plans(self) -> None:
         """Drop this engine's compiled-plan cache."""
         self._plans.clear()
+
+    def export_plans(self):
+        """A copy of the compiled-plan table (``(rule, delta_index) ->
+        JoinPlan``) -- what :mod:`repro.snapshot` persists."""
+        return self._plans.export()
+
+    def adopt_plans(self, plans) -> None:
+        """Merge a snapshot's plan table into this engine's cache
+        (existing entries win: they are already resolved against live
+        state)."""
+        self._plans.adopt(plans)
 
     def plan_cache_size(self) -> int:
         """Number of compiled plans currently cached (diagnostics --

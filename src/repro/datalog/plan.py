@@ -155,13 +155,26 @@ class PlanStore:
 class ResolvedPlan:
     """A :class:`JoinPlan` bound to a store: ready to execute."""
 
-    __slots__ = ("steps", "head_ops", "unsafe_regs", "nregs")
+    __slots__ = ("steps", "head_ops", "unsafe_regs", "nregs", "fused")
 
     def __init__(self, steps, head_ops, unsafe_regs, nregs):
         self.steps = steps            # ((predicate, use_delta, index_spec, ops), ...)
         self.head_ops = head_ops      # ((is_reg, payload), ...)
         self.unsafe_regs = unsafe_regs
         self.nregs = nregs
+        # Lazily-compiled metadata for the fused columnar kernels
+        # (liveness analysis, pushed-down filters); built on first use
+        # by :func:`repro.datalog.columns.execute_batch_fused`.
+        self.fused = None
+
+    def __getstate__(self):
+        # The fused metadata is a derived cache; recompiled on demand
+        # after unpickling (snapshot restore).
+        return (self.steps, self.head_ops, self.unsafe_regs, self.nregs)
+
+    def __setstate__(self, state):
+        self.steps, self.head_ops, self.unsafe_regs, self.nregs = state
+        self.fused = None
 
     def execute(self, store: PlanStore, domain,
                 delta_rows: Optional[Set[tuple]] = None) -> Set[tuple]:
@@ -356,6 +369,18 @@ class PlanCache:
     def clear(self) -> None:
         """Drop every compiled plan (cold-start / memory valve)."""
         self._plans.clear()
+
+    def export(self) -> Dict[Tuple[Rule, Optional[int]], JoinPlan]:
+        """A copy of the plan table (snapshot capture)."""
+        return dict(self._plans)
+
+    def adopt(self, plans: Dict[Tuple[Rule, Optional[int]], JoinPlan]) -> None:
+        """Merge a snapshot's plan table (existing entries win; the
+        merged table is trimmed back under ``_MAX_ENTRIES`` by the
+        normal insert-time valve)."""
+        merged = dict(plans)
+        merged.update(self._plans)
+        self._plans = merged
 
     def __len__(self):
         return len(self._plans)

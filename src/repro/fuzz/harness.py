@@ -58,9 +58,17 @@ EVAL_MATRIX: Dict[str, EngineConfig] = {
     "rows-seminaive": EngineConfig(compiled=True, backend="rows",
                                    strategy="seminaive"),
     "columnar-naive": EngineConfig(compiled=True, backend="columnar",
-                                   strategy="naive"),
+                                   joins="basic", strategy="naive"),
     "columnar-seminaive": EngineConfig(compiled=True, backend="columnar",
-                                       strategy="seminaive"),
+                                       joins="basic", strategy="seminaive"),
+    # The fused batch kernels (radix hash joins, bitmap semijoin
+    # pre-filters, fused filter+project) as their own cells, so every
+    # random program sweeps them against the interpretive oracle and
+    # the basic columnar reference.
+    "fused-naive": EngineConfig(compiled=True, backend="columnar",
+                                joins="fused", strategy="naive"),
+    "fused-seminaive": EngineConfig(compiled=True, backend="columnar",
+                                    joins="fused", strategy="seminaive"),
 }
 
 EVAL_BASELINE = "interpretive-naive"

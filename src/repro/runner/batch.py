@@ -72,6 +72,7 @@ from ..resilience import (
 from ..resilience import chaos as _chaos
 from ..resilience.supervisor import beat as _beat
 from ..session import Decision, Session
+from ..snapshot import configured_dir, restore_session, save_snapshot
 from ..workloads.scenarios import (
     DECISION_KINDS,
     get_scenario,
@@ -196,6 +197,10 @@ def worker_session(label: str, cache: str = "warm",
         session = store[key] = Session(
             engine=ENGINE_CONFIGS[label], kernel=kernel_config,
             cache="private", name=f"{name}-{key}")
+        # A freshly spawned (or respawned) worker skips cold start
+        # when a warm-state snapshot for this config is on disk
+        # (no-op unless REPRO_SNAPSHOT_DIR / --snapshot-dir is set).
+        restore_session(session)
     return session
 
 
@@ -367,6 +372,12 @@ def run_shard(jobs: Sequence[Job],
             decisions.append(run_decision(job))
         else:
             decisions.append(run_job_resilient(job, resilience))
+    if configured_dir():
+        # Persist this worker's warm sessions for the next run (or a
+        # respawned successor).  Concurrent shards racing on one key
+        # are safe: writes are atomic, last writer wins.
+        for session in _SESSIONS.values():
+            save_snapshot(session)
     return decisions
 
 

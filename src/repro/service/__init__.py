@@ -44,6 +44,7 @@ decisions/sec into ``BENCH_service.json``.
 from __future__ import annotations
 
 from .admission import AdmissionController
+from .cache import ResultCache
 from .coalescer import Coalescer
 from .pool import DecisionPool, PoolConfig, ServiceFailure
 from .protocol import (
@@ -72,6 +73,7 @@ __all__ = [
     "PoolConfig",
     "ProtocolError",
     "Request",
+    "ResultCache",
     "ServiceConfig",
     "ServiceFailure",
     "ServiceServer",

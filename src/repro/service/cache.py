@@ -1,0 +1,127 @@
+"""Served-decision result cache: remembering answers, not work.
+
+The :mod:`coalescer <repro.service.coalescer>` deduplicates requests
+that overlap *in flight*; this module deduplicates requests that
+repeat *over time*.  A :class:`ResultCache` is a bounded LRU (with an
+optional TTL) over completed decision records, keyed by the exact
+:func:`~repro.service.protocol.coalesce_key` -- the same soundness
+argument applies: two requests with equal keys are guaranteed
+bit-identical decision records, so replaying the stored record *is*
+the decision, not an approximation of it.
+
+Placement in the request path matters: the server consults the cache
+**before** coalescing and admission, so a hit consumes no admission
+slot and never touches the pool -- under a repeat-heavy load the
+cache turns the hot tail of the key distribution into pure front-door
+work.  Only *successful* decisions are stored; failures (timeouts,
+crashes, overload) must re-execute, because they say something about
+the server's past state, not the request's answer.
+
+Cached responses are marked ``"cached": true`` on the wire so clients
+and the load driver can tell a replay from a fresh computation, and
+the cache's ``hits`` / ``misses`` / ``evictions`` / ``expirations``
+counters ride the existing ``status`` op
+(``status["result_cache"]``).
+
+Disabled by default (``capacity=0``): turn it on with ``repro serve
+--result-cache N`` (and optionally ``--result-cache-ttl SECONDS``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A bounded LRU of ``(decision record, attempts)`` pairs keyed by
+    coalescing key, with an optional per-entry TTL.
+
+    Thread-safe: the server reads it from the event loop but tests and
+    embedded callers poke at it from other threads, and the lock is
+    cheap next to even a cached request's JSON round-trip.
+
+    ``capacity <= 0`` builds a disabled cache: every lookup misses
+    without counting, ``put`` is a no-op, and ``stats()`` still
+    renders (all zeros) so the ``status`` payload keeps one shape.
+    """
+
+    def __init__(self, capacity: int = 0,
+                 ttl_s: Optional[float] = None,
+                 clock=time.monotonic):
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError(f"ttl_s must be positive, got {ttl_s}")
+        self.capacity = int(capacity)
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: key -> (record, attempts, stored_at)
+        self._entries: "OrderedDict[str, Tuple[Mapping, int, float]]" = \
+            OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def get(self, key: str) -> Optional[Tuple[Mapping, int]]:
+        """The stored ``(record, attempts)`` for *key*, or ``None``.
+        A hit refreshes the entry's LRU position; an expired entry is
+        dropped and counted as a miss (plus an expiration)."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            record, attempts, stored_at = entry
+            if (self.ttl_s is not None
+                    and self._clock() - stored_at > self.ttl_s):
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return record, attempts
+
+    def put(self, key: str, record: Mapping, attempts: int = 1) -> None:
+        """Store a *successful* decision record under *key*, evicting
+        the least-recently-used entry when full.  Callers are expected
+        to filter failures out -- the cache never inspects the record."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (record, int(attempts), self._clock())
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``status`` op's ``result_cache`` payload."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "capacity": self.capacity,
+                "ttl_s": self.ttl_s,
+                "size": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "expirations": self._expirations,
+                "hit_rate": round(self._hits / total, 4) if total else 0.0,
+            }

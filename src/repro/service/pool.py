@@ -65,6 +65,7 @@ from ..datalog.unfold import expansion_union, unfold_nonrecursive
 from ..resilience import RetryPolicy, classify_failure, parse_schedule
 from ..resilience import chaos as _chaos
 from ..runner.batch import worker_session
+from ..snapshot import set_snapshot_dir
 from .protocol import Request
 
 __all__ = [
@@ -85,7 +86,11 @@ class PoolConfig:
     request's own ``deadline_s`` field overrides it (tighter or
     looser).  ``chaos`` is a fault-schedule spec string (``None``
     defers to ``REPRO_CHAOS`` in the worker).  ``max_attempts`` counts
-    every try of a request before it is quarantined.
+    every try of a request before it is quarantined.  ``snapshot_dir``
+    points workers at a warm-state snapshot directory
+    (:mod:`repro.snapshot`): spawned and respawned workers restore
+    their sessions from it instead of cold-starting (``None`` defers
+    to ``REPRO_SNAPSHOT_DIR``).
     """
 
     workers: int = 2
@@ -94,6 +99,7 @@ class PoolConfig:
     deadline_s: Optional[float] = None
     chaos: Optional[str] = None
     backoff_base_s: float = 0.02
+    snapshot_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.executor not in ("process", "thread"):
@@ -148,7 +154,16 @@ def worker_cache_stats() -> List[Dict[str, Any]]:
     label).  Under a thread executor this is the whole pool -- the
     coalescing tests assert single-computation behaviour with it; a
     process executor's sessions live in the workers, so the server
-    process reports none."""
+    process reports none.
+
+    Only *live* threads are reported, and dead threads' stores are
+    pruned on the way: thread idents are reused by the OS, so a stale
+    store left by a stopped pool would otherwise be silently replaced
+    by a new worker mid-flight -- making aggregate counter deltas
+    across two status calls go negative."""
+    alive = {t.ident for t in threading.enumerate()}
+    for ident in [i for i in list(_ALL_STORES) if i not in alive]:
+        _ALL_STORES.pop(ident, None)
     return [
         {"thread": ident, "config": key, **session.cache_stats()}
         for ident, store in sorted(_ALL_STORES.items())
@@ -243,12 +258,23 @@ def service_execute(op: str, payload: Dict[str, Any], attempt: int,
     return decision.without_payload().record()
 
 
-def _worker_init() -> None:
+def _worker_init(snapshot_dir: Optional[str] = None) -> None:
     """Process-pool worker initializer (spawn and respawn): no stale
-    itimers from a dead incarnation, and chaos ``crash`` faults must
-    really exit."""
+    itimers from a dead incarnation, chaos ``crash`` faults must
+    really exit, and the snapshot directory is installed so this
+    worker's sessions restore warm state instead of cold-starting."""
     disarm_alarm()
     _chaos.mark_worker()
+    _thread_init(snapshot_dir)
+
+
+def _thread_init(snapshot_dir: Optional[str] = None) -> None:
+    """Thread-executor initializer: only the snapshot directory --
+    threads share the server process, so no itimer hygiene and
+    emphatically no ``mark_worker`` (thread-mode chaos ``crash``
+    faults must stay simulated, not exit the daemon)."""
+    if snapshot_dir is not None:
+        set_snapshot_dir(snapshot_dir)
 
 
 # ----------------------------------------------------------------------
@@ -274,11 +300,15 @@ class DecisionPool:
         }
 
     def _spawn(self):
+        initargs = (self.config.snapshot_dir,)
         if self.config.executor == "process":
             return ProcessPoolExecutor(max_workers=self.config.workers,
-                                       initializer=_worker_init)
+                                       initializer=_worker_init,
+                                       initargs=initargs)
         return ThreadPoolExecutor(max_workers=self.config.workers,
-                                  thread_name_prefix="repro-service")
+                                  thread_name_prefix="repro-service",
+                                  initializer=_thread_init,
+                                  initargs=initargs)
 
     def _respawn(self, seen_generation: int) -> None:
         """Replace a broken process pool exactly once per break: the

@@ -34,7 +34,7 @@ Response shapes (see the golden files under ``tests/golden/service/``,
 which pin every one of them)::
 
     {"id": ..., "type": "decision", "decision": <Decision.record()>,
-     "coalesced": bool, "attempts": int,
+     "coalesced": bool, "cached": bool, "attempts": int,
      "queue_ms": float, "service_ms": float}
     {"id": ..., "type": "error", "error": <category>, "message": str,
      "attempts": int}
@@ -377,17 +377,22 @@ def coalesce_key(request: Request) -> str:
 
 def decision_response(request_id, record: Mapping, *, coalesced: bool,
                       attempts: int, queue_ms: float,
-                      service_ms: float) -> Dict[str, Any]:
+                      service_ms: float,
+                      cached: bool = False) -> Dict[str, Any]:
     """A completed decision: ``record`` is the payload-stripped
     :meth:`~repro.session.Decision.record` produced by the worker.
     ``queue_ms`` is admission-to-dispatch, ``service_ms`` is
     dispatch-to-completion (a coalesced joiner reports the time it
-    itself waited on the shared computation)."""
+    itself waited on the shared computation).  ``cached`` marks a
+    replay from the result cache (:mod:`repro.service.cache`): the
+    record was computed by an earlier identical request and no worker
+    ran for this one."""
     return {
         "id": request_id,
         "type": "decision",
         "decision": dict(record),
         "coalesced": bool(coalesced),
+        "cached": bool(cached),
         "attempts": int(attempts),
         "queue_ms": round(float(queue_ms), 3),
         "service_ms": round(float(service_ms), 3),

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Set, Tuple
 
 from .admission import AdmissionController
+from .cache import ResultCache
 from .coalescer import Coalescer
 from .pool import DecisionPool, PoolConfig, ServiceFailure, \
     worker_cache_stats
@@ -75,10 +76,19 @@ class ServiceConfig:
     capacity: int = 64
     retry_after_ms: float = 50.0
     pool: PoolConfig = field(default_factory=PoolConfig)
+    #: Served-decision result cache (entries; 0 = off).  Hits replay
+    #: the stored record -- no admission slot, no pool dispatch -- and
+    #: are marked ``"cached": true`` on the wire.
+    result_cache: int = 0
+    #: Optional per-entry TTL for the result cache, in seconds.
+    result_cache_ttl_s: Optional[float] = None
 
     def __post_init__(self):
         if self.socket_path is None and self.tcp is None:
             raise ValueError("ServiceConfig needs socket_path or tcp")
+        if self.result_cache < 0:
+            raise ValueError("result_cache must be >= 0, "
+                             f"got {self.result_cache}")
 
 
 class ServiceServer:
@@ -90,6 +100,9 @@ class ServiceServer:
             capacity=config.capacity,
             retry_after_ms=config.retry_after_ms)
         self.coalescer = Coalescer()
+        self.result_cache = ResultCache(
+            capacity=config.result_cache,
+            ttl_s=config.result_cache_ttl_s)
         self.pool: Optional[DecisionPool] = None
         self._servers = []
         self._conn_tasks: Set[asyncio.Task] = set()
@@ -173,6 +186,7 @@ class ServiceServer:
             "errors": self._errors,
             "admission": self.admission.stats(),
             "coalescer": self.coalescer.stats(),
+            "result_cache": self.result_cache.stats(),
             "pool": self.pool.stats() if self.pool is not None else {},
             "worker_sessions": worker_cache_stats(),
         }
@@ -248,6 +262,18 @@ class ServiceServer:
                              lock: asyncio.Lock) -> None:
         arrived = time.perf_counter()
         key = coalesce_key(request)
+        cached = self.result_cache.get(key)
+        if cached is not None:
+            # The answer is already known bit-identically (the cache
+            # is keyed by the full coalescing key): replay it without
+            # an admission slot or a pool dispatch.
+            record, attempts = cached
+            self._served += 1
+            waited_ms = (time.perf_counter() - arrived) * 1000.0
+            await self._write(writer, lock, decision_response(
+                request.id, record, coalesced=False, cached=True,
+                attempts=attempts, queue_ms=0.0, service_ms=waited_ms))
+            return
         shared = self.coalescer.join(key)
         if shared is not None:
             # A bit-identical request is in flight: wait for its
@@ -305,6 +331,9 @@ class ServiceServer:
             self.admission.release()
         attempts = record.get("attempts", 1)
         self.coalescer.resolve(key, result=(record, attempts))
+        # Only completed decisions are cached; every failure path
+        # above returned without a put, so future repeats re-execute.
+        self.result_cache.put(key, record, attempts)
         self._served += 1
         done = time.perf_counter()
         await self._write(writer, lock, decision_response(

@@ -325,6 +325,10 @@ class Session:
         else:
             self.caches = _context.CacheScope(self.name)
         self._fingerprint: Optional[str] = None
+        # Scenario-name-keyed EdbImages: populated by snapshot restore
+        # and by scenario runs, consumed by later runs of the same
+        # (deterministic) scenario payload.  Registry-bounded.
+        self._snapshot_images: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # Configuration identity.
@@ -380,10 +384,13 @@ class Session:
         derived.name = name or self.name
         if cache is None:
             derived.caches = self.caches
+            derived._snapshot_images = self._snapshot_images
         elif derived.cache_policy.scope == "shared":
             derived.caches = _context.GLOBAL_SCOPE
+            derived._snapshot_images = {}
         else:
             derived.caches = _context.CacheScope(derived.name)
+            derived._snapshot_images = {}
         derived._fingerprint = None
         return derived
 
@@ -764,6 +771,7 @@ class Session:
         try:
             with self._deadline(deadline), self.activated(), \
                     time_budget(budget):
+                self._adopt_scenario_image(scenario.name, payload)
                 verdict, stats = _scenarios.kind_runner(scenario.kind)(
                     payload, engine or self._engine, kernel or self.kernel)
         except BudgetExhausted as exhausted:
@@ -771,6 +779,8 @@ class Session:
             if budget is None or exhausted.seconds != budget:
                 raise
             verdict, stats = {"budget_exhausted": True}, {"budget_s": budget}
+        else:
+            self._stash_scenario_image(scenario.name, payload)
         decide_s = perf_counter() - start
         return self._decision(
             scenario.kind, verdict,
@@ -782,17 +792,59 @@ class Session:
         )
 
     # ------------------------------------------------------------------
+    # Scenario image reuse (in-session and snapshot-restored).
+    # ------------------------------------------------------------------
+
+    def _adopt_scenario_image(self, name: str, payload) -> None:
+        """Before running scenario *name*: if a columnar image of its
+        payload database is banked (from an earlier run of this
+        deterministic payload, or restored from a snapshot), install
+        it so evaluation skips the interning pass.  Shape mismatch
+        drops the banked image and falls back to a cold build."""
+        database = payload.get("database") if isinstance(payload, dict) \
+            else None
+        if database is None:
+            return
+        image = self._snapshot_images.get(name)
+        if image is None:
+            return
+        from .datalog.columns import adopt_image
+
+        if not adopt_image(database, image, scope=self.caches):
+            self._snapshot_images.pop(name, None)
+
+    def _stash_scenario_image(self, name: str, payload) -> None:
+        """After a successful scenario run: bank the image built for
+        its payload database under the scenario name, so the next run
+        (or a snapshot) reuses it.  A reference, not a copy."""
+        database = payload.get("database") if isinstance(payload, dict) \
+            else None
+        if database is None:
+            return
+        from .datalog.columns import peek_image
+
+        image = peek_image(database, scope=self.caches)
+        if image is not None:
+            self._snapshot_images[name] = image
+
+    # ------------------------------------------------------------------
     # Cache lifecycle.
     # ------------------------------------------------------------------
 
     def warm(self, program: Optional[Program] = None,
              goal: Optional[str] = None, union=None, *,
-             scenario=None) -> "Session":
+             scenario=None, snapshot=None) -> "Session":
         """Pre-build this session's caches: either the automaton
         caches for an explicit ``(program, goal[, union])``, or
         everything a registry ``scenario`` (name or object) will touch
         -- the unions its decision procedure actually constructs.
-        Returns ``self`` for chaining."""
+        With ``snapshot=`` (a directory path), previously persisted
+        warm state for this configuration fingerprint is restored
+        first (see :mod:`repro.snapshot`), making the rest of the
+        warm-up cache hits.  Returns ``self`` for chaining."""
+        if snapshot is not None:
+            from .snapshot import restore_session
+            restore_session(self, snapshot)
         with self.activated():
             if scenario is not None:
                 self._warm_scenario(scenario)
@@ -803,19 +855,40 @@ class Session:
                 _warm_caches(program, goal, union)
         return self
 
+    def snapshot(self, directory=None, scenarios=()) -> Optional[Any]:
+        """Persist this session's warm state (see
+        :func:`repro.snapshot.save_snapshot`): compiled plans, the
+        automaton caches, and scenario-keyed EDB images.  Returns the
+        written path, or ``None`` when no directory is configured."""
+        from .snapshot import save_snapshot
+
+        return save_snapshot(self, directory, scenarios)
+
     def _warm_scenario(self, scenario) -> None:
         """Warm the kernel-neutral caches one scenario's decision will
         hit: containment payloads carry their union, equivalence
         unfolds its nonrecursive program, and the boundedness search
         probes the expansion unions of every depth up to its
-        ``max_depth``.  Evaluation scenarios warm through the engine's
-        plan cache on first run instead."""
+        ``max_depth``.  Evaluation scenarios warm their columnar EDB
+        image instead (adopted from the session's image bank when one
+        is available, built and banked otherwise); their plans compile
+        on first run."""
         from .datalog.unfold import expansion_union
         from .workloads.scenarios import DECISION_KINDS, get_scenario
 
         if isinstance(scenario, str):
             scenario = get_scenario(scenario)
         if scenario.kind not in DECISION_KINDS:
+            if (self.engine_config.compiled
+                    and self.engine_config.backend == "columnar"):
+                from .datalog.columns import edb_image
+
+                payload = scenario.build()
+                database = payload.get("database")
+                if database is not None:
+                    self._adopt_scenario_image(scenario.name, payload)
+                    edb_image(database)
+                    self._stash_scenario_image(scenario.name, payload)
             return
         try:
             # Warming is best-effort: a budgeted (tag:stress) scenario's

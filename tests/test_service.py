@@ -48,6 +48,8 @@ def _serve(sock_path, **pool_kwargs):
     config = ServiceConfig(
         socket_path=sock_path,
         capacity=pool_kwargs.pop("capacity", 64),
+        result_cache=pool_kwargs.pop("result_cache", 0),
+        result_cache_ttl_s=pool_kwargs.pop("result_cache_ttl_s", None),
         pool=PoolConfig(**pool_kwargs))
     return start_in_thread(config)
 
@@ -410,3 +412,131 @@ def test_served_records_match_serial_sessions(sock_path):
         record = response["decision"]  # meta flattens into the record
         assert (record["op"], record["engine"], record["kernel"]) == \
             ("scenario", "columnar", "bitset")
+
+
+# ----------------------------------------------------------------------
+# The served-decision result cache.
+# ----------------------------------------------------------------------
+
+def test_result_cache_replays_without_pool_dispatch(sock_path):
+    """A repeat of an already-served request is answered from the
+    result cache: bit-identical record, ``cached: true``, and neither
+    an admission slot nor a pool dispatch is consumed."""
+    with _serve(sock_path, result_cache=32):
+        with ServiceClient(socket_path=sock_path) as client:
+            first = client.request({"op": "scenario",
+                                    "scenario": "bounded_buys"})
+            before = client.request({"op": "status"})["status"]
+            second = client.request({"op": "scenario",
+                                     "scenario": "bounded_buys"})
+            after = client.request({"op": "status"})["status"]
+
+    assert first["type"] == second["type"] == "decision"
+    assert first["cached"] is False
+    assert second["cached"] is True
+    assert second["coalesced"] is False
+    assert second["decision"] == first["decision"]  # byte-for-byte replay
+    # The hit bypassed every inner layer.
+    assert after["pool"]["submitted"] == before["pool"]["submitted"]
+    assert after["admission"]["admitted"] == before["admission"]["admitted"]
+    assert after["coalescer"]["computed"] == before["coalescer"]["computed"]
+    cache = after["result_cache"]
+    assert (cache["hits"], cache["size"]) == (1, 1)
+    assert cache["misses"] == 1  # the first request's lookup
+
+
+def test_result_cache_distinguishes_configs(sock_path):
+    """The cache key is the full coalescing key, so the same scenario
+    under a different kernel config is a miss, not a poisoned hit."""
+    with _serve(sock_path, result_cache=32):
+        with ServiceClient(socket_path=sock_path) as client:
+            bitset = client.request({"op": "scenario",
+                                     "scenario": "bounded_buys",
+                                     "kernel": "bitset"})
+            frozen = client.request({"op": "scenario",
+                                     "scenario": "bounded_buys",
+                                     "kernel": "frozenset"})
+            status = client.request({"op": "status"})["status"]
+    assert bitset["cached"] is False and frozen["cached"] is False
+    assert status["result_cache"]["hits"] == 0
+    assert status["result_cache"]["size"] == 2
+    assert bitset["decision"]["verdict"] == frozen["decision"]["verdict"]
+    assert bitset["decision"]["fingerprint"] != \
+        frozen["decision"]["fingerprint"]
+
+
+def test_result_cache_never_stores_failures(sock_path):
+    """Errors are not answers: a quarantined request leaves the cache
+    empty, and its repeat re-executes (and re-fails) on the pool."""
+    with _serve(sock_path, result_cache=32, max_attempts=2,
+                chaos="crash:scenario=bounded_buys,attempt=*"):
+        with ServiceClient(socket_path=sock_path) as client:
+            first = client.request({"op": "scenario",
+                                    "scenario": "bounded_buys"})
+            second = client.request({"op": "scenario",
+                                     "scenario": "bounded_buys"})
+            status = client.request({"op": "status"})["status"]
+    assert first["type"] == second["type"] == "error"
+    assert status["result_cache"]["size"] == 0
+    assert status["result_cache"]["hits"] == 0
+    assert status["pool"]["submitted"] == 2  # both really dispatched
+
+
+def test_result_cache_disabled_by_default(sock_path):
+    """Without ``--result-cache`` the server behaves exactly as
+    before: repeats recompute, nothing is marked cached, and the
+    status payload shows a zero-capacity cache."""
+    with _serve(sock_path):
+        with ServiceClient(socket_path=sock_path) as client:
+            responses = [client.request({"op": "scenario",
+                                         "scenario": "bounded_buys"})
+                         for _ in range(2)]
+            status = client.request({"op": "status"})["status"]
+    assert [r["cached"] for r in responses] == [False, False]
+    assert status["result_cache"]["capacity"] == 0
+    assert status["result_cache"]["hits"] == 0
+    assert status["pool"]["submitted"] == 2
+
+
+# ----------------------------------------------------------------------
+# Snapshot-restored workers.
+# ----------------------------------------------------------------------
+
+def test_respawned_worker_restores_snapshot(sock_path, tmp_path):
+    """A worker pointed at a warm-state snapshot serves its first
+    request with measurably fewer Session cache misses than a
+    cold-started worker -- the counter-delta proof that restore
+    happened, independent of wall clocks -- and the decision record
+    stays bit-identical."""
+    from repro.snapshot import save_snapshot, set_snapshot_dir
+
+    writer = Session(engine=ENGINE_CONFIGS["columnar"],
+                     kernel=KERNEL_CONFIGS["bitset"], cache="private",
+                     name="snapshot-writer")
+    assert writer.run_scenario("bounded_buys").ok
+    assert save_snapshot(writer, tmp_path) is not None
+
+    def first_request_misses(sock, **extra):
+        with _serve(sock, **extra):
+            with ServiceClient(socket_path=sock) as client:
+                before = client.request({"op": "status"})["status"]
+                response = client.request({"op": "scenario",
+                                           "scenario": "bounded_buys"})
+                after = client.request({"op": "status"})["status"]
+        assert response["type"] == "decision"
+        return _scope_misses(after) - _scope_misses(before), response
+
+    try:
+        cold_misses, cold = first_request_misses(
+            str(tmp_path / "cold.sock"))
+        warm_misses, warm = first_request_misses(
+            str(tmp_path / "warm.sock"), snapshot_dir=str(tmp_path))
+    finally:
+        # _thread_init installs the directory process-wide (that is
+        # how spawned process workers inherit it); undo for the rest
+        # of the test run.
+        set_snapshot_dir(None)
+
+    assert cold_misses > 0
+    assert warm_misses < cold_misses, (warm_misses, cold_misses)
+    assert _stable_view(warm["decision"]) == _stable_view(cold["decision"])

@@ -1,0 +1,97 @@
+"""Unit tests for the served-decision result cache
+(:mod:`repro.service.cache`).
+
+The behavioural half -- hits bypassing admission and the pool, the
+``cached: true`` wire mark, failure non-caching -- lives in
+``tests/test_service.py`` against a live server; this file pins the
+data-structure contract: strict LRU order, capacity bounds, TTL
+expiry under an injected clock, and the counter arithmetic the
+``status`` op reports.
+"""
+
+import pytest
+
+from repro.service.cache import ResultCache
+
+
+def _record(n):
+    return {"verdict": {"bounded": True, "depth": n}, "ok": True}
+
+
+def test_disabled_cache_is_inert():
+    cache = ResultCache(capacity=0)
+    assert not cache.enabled
+    cache.put("k", _record(1))
+    assert cache.get("k") is None
+    stats = cache.stats()
+    assert stats["size"] == stats["hits"] == stats["misses"] == 0
+    assert stats["capacity"] == 0
+
+
+def test_hit_returns_record_and_attempts():
+    cache = ResultCache(capacity=4)
+    cache.put("k", _record(1), attempts=3)
+    assert cache.get("k") == (_record(1), 3)
+    stats = cache.stats()
+    assert (stats["hits"], stats["misses"], stats["size"]) == (1, 0, 1)
+    assert stats["hit_rate"] == 1.0
+
+
+def test_lru_eviction_order():
+    cache = ResultCache(capacity=2)
+    cache.put("a", _record(1))
+    cache.put("b", _record(2))
+    assert cache.get("a") is not None   # refresh a: b is now LRU
+    cache.put("c", _record(3))          # evicts b
+    assert cache.get("b") is None
+    assert cache.get("a") is not None
+    assert cache.get("c") is not None
+    assert cache.stats()["evictions"] == 1
+
+
+def test_put_overwrite_refreshes_not_evicts():
+    cache = ResultCache(capacity=2)
+    cache.put("a", _record(1))
+    cache.put("b", _record(2))
+    cache.put("a", _record(9))          # overwrite, no eviction
+    assert cache.stats()["evictions"] == 0
+    assert cache.get("a") == (_record(9), 1)
+
+
+def test_ttl_expiry_with_injected_clock():
+    now = [0.0]
+    cache = ResultCache(capacity=4, ttl_s=10.0, clock=lambda: now[0])
+    cache.put("k", _record(1))
+    now[0] = 9.9
+    assert cache.get("k") is not None   # still fresh
+    now[0] = 10.1
+    assert cache.get("k") is None       # expired: dropped + miss
+    stats = cache.stats()
+    assert stats["expirations"] == 1
+    assert stats["size"] == 0
+    assert (stats["hits"], stats["misses"]) == (1, 1)
+
+
+def test_ttl_must_be_positive():
+    with pytest.raises(ValueError):
+        ResultCache(capacity=4, ttl_s=0)
+
+
+def test_clear_drops_entries_keeps_counters():
+    cache = ResultCache(capacity=4)
+    cache.put("k", _record(1))
+    assert cache.get("k") is not None
+    cache.clear()
+    assert cache.get("k") is None
+    stats = cache.stats()
+    assert stats["size"] == 0
+    assert (stats["hits"], stats["misses"]) == (1, 1)
+
+
+def test_hit_rate_rounding():
+    cache = ResultCache(capacity=4)
+    cache.put("k", _record(1))
+    cache.get("k")
+    cache.get("absent")
+    cache.get("absent")
+    assert cache.stats()["hit_rate"] == pytest.approx(0.3333, abs=1e-4)
