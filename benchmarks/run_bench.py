@@ -356,6 +356,40 @@ def scale_suite(repeats: int, smoke: bool):
     return entries
 
 
+def analyze_suite(repeats: int, smoke: bool):
+    """The static analyzer swept over every registry scenario program
+    (diagnostics + class certificates + plan lints).  Budget: the
+    analyzer must stay interactive, < 50 ms per program."""
+    from repro.analysis import analyze_program
+
+    print("static analyzer (registry scenarios):")
+    targets = []
+    for name in scenario_names():
+        scenario = get_scenario(name)
+        payload = scenario.build()
+        targets.append((payload["program"], payload.get("goal")))
+
+    def sweep():
+        for program, goal in targets:
+            analyze_program(program, goal)
+
+    analyze_s = median_seconds(sweep, repeats)
+    per_program_s = analyze_s / max(1, len(targets))
+    entry = {
+        "name": "analyze_registry",
+        "repeats": repeats,
+        "programs": len(targets),
+        "analyze_s": round(analyze_s, 6),
+        "analyze_per_program_s": round(per_program_s, 6),
+    }
+    budget_note = "" if per_program_s < 0.050 else \
+        "  !! exceeds the 50ms/program budget"
+    print(f"  {'analyze_registry':42s} sweep    {analyze_s*1000:8.2f}ms  "
+          f"per-program {per_program_s*1000:8.3f}ms "
+          f"({len(targets)} programs){budget_note}")
+    return [entry]
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repeats", type=int, default=5,
@@ -387,6 +421,7 @@ def main() -> int:
         automata_entries += automata_suite(repeats, args.smoke)
     if args.suite in ("all", "plans"):
         plans_entries += plans_suite(repeats, args.smoke)
+        plans_entries += analyze_suite(repeats, args.smoke)
     if args.suite in ("all", "scale"):
         plans_entries += scale_suite(repeats, args.smoke)
 

@@ -1,0 +1,45 @@
+"""Static program analysis: typed diagnostics and class certificates.
+
+The analyzer inspects a :class:`~repro.datalog.program.Program` (no
+database, no evaluation) and returns an
+:class:`~repro.analysis.diagnostics.AnalysisReport`: a structured list
+of typed :class:`~repro.analysis.diagnostics.Diagnostic` records with
+stable codes, severities, locations, and fix hints, plus
+machine-readable certificates of syntactic-class membership that
+``Session.bounded``/``Session.contains`` can consult for fast paths.
+
+Entry points: :func:`analyze_program` / :func:`analyze_source` here,
+``Session.analyze`` on the facade, and ``python -m repro analyze`` on
+the command line.
+
+>>> from repro.analysis import analyze_source
+>>> report = analyze_source("p(X, Y) :- e(X).", goal="p")
+>>> [d.code for d in report.errors]
+['E001']
+>>> analyze_source("p(X) :- e(X).", goal="p").classes
+('nonrecursive', 'linear', 'chain')
+"""
+
+from .checks import (
+    analyze_program,
+    analyze_source,
+    boundedness_certificate,
+    class_certificates,
+    safety_errors,
+)
+from .diagnostics import CODES, SEVERITIES, AnalysisReport, Diagnostic, diagnostic
+from .plan_lints import plan_diagnostics
+
+__all__ = [
+    "AnalysisReport",
+    "CODES",
+    "Diagnostic",
+    "SEVERITIES",
+    "analyze_program",
+    "analyze_source",
+    "boundedness_certificate",
+    "class_certificates",
+    "diagnostic",
+    "plan_diagnostics",
+    "safety_errors",
+]

@@ -1,0 +1,299 @@
+"""The static analyzer: safety errors, class certificates, lints.
+
+Three layers, cheapest first:
+
+1. *Safety / well-formedness* — range restriction (E001), undefined
+   goal predicates (E002), duplicate rules (W001).  Arity mismatches
+   (E003) and parse errors (E004) can only be observed from source
+   text, because :class:`~repro.datalog.program.Program` refuses to
+   construct inconsistent arities; :func:`analyze_source` converts
+   those constructor exceptions into diagnostics.
+2. *Class certificates* — nonrecursive / linear / sirup / chain
+   classification over the dependence graph (H002–H005), goal
+   reachability slicing (W003), and the syntactic-boundedness
+   sufficient conditions (H001) described below.
+3. *Plan lints* — cost hazards in compiled join plans (W002, W004,
+   W005); see :mod:`repro.analysis.plan_lints`.
+
+Certificates are *sound but incomplete*: an emitted H001 must agree
+with :func:`repro.core.boundedness.search_boundedness` (the fuzz
+harness cross-checks this on every sweep), but plenty of bounded
+programs get no certificate.
+
+H001 is emitted under either of two sufficient conditions on the goal
+slice, both proved by exhibiting containment homomorphisms between
+expansion unions:
+
+* **Nonrecursive slice.**  If no predicate reachable from the goal is
+  recursive, every proof tree has height at most ``h(goal)`` where
+  ``h(p) = max over rules for p of (1 + max h(q) over IDB body
+  atoms)``, so the goal is bounded with depth ``h(goal)``.
+* **Guarded self-recursion.**  If the goal is the only reachable IDB
+  predicate, it has at least one nonrecursive rule, and every
+  recursive rule has exactly one recursive atom whose arguments are
+  (a) literally the head argument at a *common* set of pass-through
+  positions shared by all recursive rules, or (b) a variable occurring
+  exactly once in the rule (a "don't care"), then any proof of depth
+  ``d > 2`` maps homomorphically onto a depth-2 proof: recursive
+  levels only re-check EDB guards over pass-through arguments, so one
+  level subsumes them all.  Depth bound 2.
+
+The common-position requirement in (b) is essential: with two
+recursive rules passing through *different* positions, alternating
+them threads information through the recursion and the program can be
+genuinely unbounded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..datalog.analysis import (
+    is_linear,
+    is_nonrecursive,
+    reachable_predicates,
+    recursive_body_atoms,
+    slice_for_goal,
+    topological_order,
+)
+from ..datalog.errors import ArityError, ParseError
+from ..datalog.parser import parse_program
+from ..datalog.program import Program
+from ..datalog.rules import Rule
+from ..datalog.terms import is_variable
+from ..core.word_path import is_chain_program
+from .diagnostics import AnalysisReport, Diagnostic, diagnostic
+from .plan_lints import plan_diagnostics
+
+__all__ = [
+    "analyze_program",
+    "analyze_source",
+    "boundedness_certificate",
+    "class_certificates",
+    "safety_errors",
+]
+
+
+def safety_errors(program: Program) -> List[Diagnostic]:
+    """E001 diagnostics: rules violating range restriction.
+
+    A rule is *safe* when every head variable occurs in the body;
+    unsafe rules are evaluated under active-domain semantics by the
+    engines, but fall outside the contract the paper's decision
+    procedures assume, so the validate gate treats them as errors.
+    """
+    found = []
+    for index, rule in enumerate(program.rules):
+        if rule.is_safe:
+            continue
+        unbound = sorted(
+            v.name for v in rule.head.variable_set() - rule.body_variables())
+        found.append(diagnostic(
+            "E001",
+            f"head variable(s) {', '.join(unbound)} not bound in the body",
+            predicate=rule.head.predicate, rule=str(rule), rule_index=index))
+    return found
+
+
+def _duplicate_rules(program: Program) -> List[Diagnostic]:
+    seen: Dict[Rule, int] = {}
+    found = []
+    for index, rule in enumerate(program.rules):
+        first = seen.setdefault(rule, index)
+        if first != index:
+            found.append(diagnostic(
+                "W001", f"rule duplicates rule {first}",
+                predicate=rule.head.predicate, rule=str(rule),
+                rule_index=index))
+    return found
+
+
+def _goal_errors(program: Program, goal: str) -> List[Diagnostic]:
+    if program.is_idb(goal):
+        return []
+    detail = ("only appears in rule bodies"
+              if goal in program.predicates else "does not appear at all")
+    return [diagnostic(
+        "E002", f"goal {goal!r} is not an IDB predicate ({detail})",
+        predicate=goal)]
+
+
+def _unreachable_rules(program: Program, goal: str) -> List[Diagnostic]:
+    reachable = reachable_predicates(program, goal)
+    found = []
+    for index, rule in enumerate(program.rules):
+        if rule.head.predicate not in reachable:
+            found.append(diagnostic(
+                "W003",
+                f"rule head {rule.head.predicate!r} is not reachable from "
+                f"goal {goal!r}",
+                predicate=rule.head.predicate, rule=str(rule),
+                rule_index=index))
+    return found
+
+
+def class_certificates(
+        program: Program,
+        goal: Optional[str] = None) -> Tuple[List[str], List[Diagnostic]]:
+    """Syntactic classes the whole program belongs to (H002–H005)."""
+    classes: List[str] = []
+    hints: List[Diagnostic] = []
+
+    def note(name: str, code: str, message: str) -> None:
+        classes.append(name)
+        hints.append(diagnostic(code, message, predicate=goal))
+
+    if is_nonrecursive(program):
+        note("nonrecursive", "H002",
+             "no predicate depends recursively on itself")
+    if is_linear(program):
+        note("linear", "H003",
+             "every rule has at most one recursive body atom")
+    recursive_rules = [
+        rule for rule in program.rules
+        if recursive_body_atoms(program, rule)]
+    if len(recursive_rules) == 1:
+        note("sirup", "H004",
+             f"exactly one recursive rule: {recursive_rules[0]}")
+    if program.rules and is_chain_program(program):
+        note("chain", "H005",
+             "every rule has at most one IDB body atom")
+    return classes, hints
+
+
+def _nonrecursive_depth(program: Program, goal: str) -> int:
+    """Max proof-tree height for *goal* in a nonrecursive program."""
+    height: Dict[str, int] = {}
+    for predicate in topological_order(program):  # callees first
+        best = 1
+        for rule in program.rules_for(predicate):
+            idb = program.idb_atoms_of(rule)
+            depth = 1 + max((height[atom.predicate] for atom in idb),
+                            default=0)
+            best = max(best, depth)
+        height[predicate] = best
+    return height.get(goal, 1)
+
+
+def _guarded_recursion_bound(program: Program, goal: str) -> bool:
+    """True when the goal slice matches the guarded self-recursion
+    pattern (depth bound 2); see the module docstring for the proof
+    sketch and why pass-through positions must be common."""
+    if set(program.idb_predicates) != {goal}:
+        return False
+    recursive_rules = []
+    for rule in program.rules_for(goal):
+        idb = program.idb_atoms_of(rule)
+        if not idb:
+            continue
+        if len(idb) != 1 or idb[0].predicate != goal:
+            return False
+        recursive_rules.append((rule, idb[0]))
+    base_rules = [rule for rule in program.rules_for(goal)
+                  if not program.idb_atoms_of(rule)]
+    if not recursive_rules or not base_rules:
+        return False
+
+    arity = program.arity[goal]
+    passthrough = set(range(arity))
+    for rule, atom in recursive_rules:
+        passthrough &= {pos for pos in range(arity)
+                        if atom.args[pos] == rule.head.args[pos]}
+    for rule, atom in recursive_rules:
+        occurrences: Dict[object, int] = {}
+        for term in list(rule.head.args) + [
+                arg for body_atom in rule.body for arg in body_atom.args]:
+            occurrences[term] = occurrences.get(term, 0) + 1
+        for pos in range(arity):
+            if pos in passthrough:
+                continue
+            arg = atom.args[pos]
+            if not is_variable(arg) or occurrences[arg] != 1:
+                return False
+    return True
+
+
+def boundedness_certificate(
+        program: Program, goal: str) -> Optional[Dict[str, object]]:
+    """A machine-readable H001 certificate for *goal*, or ``None``.
+
+    Only issued when the goal slice is safety-clean and the goal is
+    defined — the certificate promises ``Session.bounded(program,
+    goal, max_depth=depth_bound)`` returns ``bounded=True``, which the
+    decision procedure only reports for programs inside its contract.
+    """
+    if not program.is_idb(goal):
+        return None
+    sliced = slice_for_goal(program, goal)
+    if safety_errors(sliced):
+        return None
+    if is_nonrecursive(sliced):
+        return {"code": "H001", "reason": "nonrecursive-slice",
+                "depth_bound": _nonrecursive_depth(sliced, goal),
+                "goal": goal}
+    if _guarded_recursion_bound(sliced, goal):
+        return {"code": "H001", "reason": "guarded-self-recursion",
+                "depth_bound": 2, "goal": goal}
+    return None
+
+
+def _ordered(diagnostics: Sequence[Diagnostic]) -> Tuple[Diagnostic, ...]:
+    rank = {"error": 0, "warning": 1, "hint": 2}
+    return tuple(sorted(diagnostics, key=lambda d: rank[d.severity]))
+
+
+def analyze_program(program: Program, goal: Optional[str] = None, *,
+                    plans: bool = True) -> AnalysisReport:
+    """Run every applicable check and assemble the report.
+
+    ``plans=False`` skips the join-plan lints (used by hot callers
+    such as the fuzz harness and certificate fast paths).
+    """
+    diagnostics: List[Diagnostic] = []
+    diagnostics.extend(safety_errors(program))
+    diagnostics.extend(_duplicate_rules(program))
+    if goal is not None:
+        diagnostics.extend(_goal_errors(program, goal))
+        if not any(d.code == "E002" for d in diagnostics):
+            diagnostics.extend(_unreachable_rules(program, goal))
+    if plans:
+        diagnostics.extend(plan_diagnostics(program))
+
+    classes: List[str] = []
+    certificates: Dict[str, object] = {}
+    if not any(d.severity == "error" for d in diagnostics):
+        # Certificates are only trustworthy on well-formed programs.
+        classes, hints = class_certificates(program, goal)
+        diagnostics.extend(hints)
+        if goal is not None:
+            certificates["reachable"] = sorted(
+                reachable_predicates(program, goal))
+            bounded = boundedness_certificate(program, goal)
+            if bounded is not None:
+                certificates["bounded"] = bounded
+                diagnostics.append(diagnostic(
+                    "H001",
+                    f"goal {goal!r} is syntactically bounded at depth "
+                    f"{bounded['depth_bound']} ({bounded['reason']})",
+                    predicate=goal))
+    if classes:
+        certificates["classes"] = list(classes)
+
+    return AnalysisReport(diagnostics=_ordered(diagnostics),
+                          classes=tuple(classes),
+                          certificates=certificates, goal=goal)
+
+
+def analyze_source(source: str, goal: Optional[str] = None, *,
+                   plans: bool = True) -> AnalysisReport:
+    """Analyze Datalog source text; syntax and arity failures become
+    E004/E003 diagnostics instead of exceptions."""
+    try:
+        program = parse_program(source)
+    except ParseError as exc:
+        return AnalysisReport(
+            diagnostics=(diagnostic("E004", str(exc)),), goal=goal)
+    except ArityError as exc:
+        return AnalysisReport(
+            diagnostics=(diagnostic("E003", str(exc)),), goal=goal)
+    return analyze_program(program, goal, plans=plans)

@@ -1,0 +1,194 @@
+"""Typed diagnostics: stable codes, severities, and the report shape.
+
+Every finding the analyzer emits is a :class:`Diagnostic` carrying a
+stable code from :data:`CODES`.  Codes are part of the public contract:
+the CLI exit status, the service's ``bad-request`` payloads, and the
+fuzz harness's soundness differential all key on them, so codes are
+never renumbered or reused.
+
+Severity tiers:
+
+* ``error`` (``E``-codes) — the program is outside the contract the
+  decision procedures assume; ``EngineConfig(validate=True)`` refuses
+  to evaluate it and ``python -m repro analyze`` exits 1.
+* ``warning`` (``W``-codes) — legal but suspicious: duplicated or
+  unreachable rules, join plans with cost hazards.
+* ``hint`` (``H``-codes) — positive certificates: the program falls in
+  a syntactic class (nonrecursive, linear, sirup, chain, syntactically
+  bounded) with cheaper decision procedures.
+
+>>> diagnostic("E001", "head variable Y is not bound in the body").severity
+'error'
+>>> diagnostic("H005", "every rule has at most one IDB body atom").name
+'chain-rule'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "AnalysisReport",
+    "CODES",
+    "Diagnostic",
+    "SEVERITIES",
+    "diagnostic",
+]
+
+SEVERITIES = ("error", "warning", "hint")
+
+# code -> (name, severity, fix hint).  Append-only; never renumber.
+CODES: Dict[str, Tuple[str, str, str]] = {
+    "E001": ("unsafe-rule", "error",
+             "bind every head variable in a positive body atom "
+             "(range restriction)"),
+    "E002": ("undefined-predicate", "error",
+             "add at least one rule or fact for the predicate, or query "
+             "one that exists"),
+    "E003": ("arity-mismatch", "error",
+             "use one consistent arity for every predicate"),
+    "E004": ("parse-error", "error",
+             "fix the Datalog syntax at the reported position"),
+    "W001": ("duplicate-rule", "warning",
+             "delete the duplicate rule; it cannot change the fixpoint"),
+    "W002": ("dead-register", "warning",
+             "drop the body variable that is bound but never read, or "
+             "project it into the head"),
+    "W003": ("unreachable-rule", "warning",
+             "the rule cannot contribute to the goal; delete it or "
+             "re-target the query"),
+    "W004": ("unindexed-probe", "warning",
+             "the repeated-variable filter forces a full scan; bind one "
+             "position earlier so the probe can use an index"),
+    "W005": ("cross-product-join", "warning",
+             "share a variable or constant with an earlier body atom to "
+             "avoid the cartesian product"),
+    "H001": ("syntactically-bounded", "hint",
+             "Session.bounded certifies this goal at the reported depth"),
+    "H002": ("nonrecursive", "hint",
+             "equivalent to a union of conjunctive queries; containment "
+             "is NP-complete instead of undecidable"),
+    "H003": ("linear-rules", "hint",
+             "at most one recursive body atom per rule; the linear "
+             "fragment keeps equivalence decidable"),
+    "H004": ("sirup", "hint",
+             "single recursive rule: the sirup fragment of the paper"),
+    "H005": ("chain-rule", "hint",
+             "at most one IDB body atom per rule; containment runs on "
+             "the word-automaton fast path"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, locatable and machine-readable."""
+
+    code: str
+    severity: str
+    name: str
+    message: str
+    hint: str
+    predicate: Optional[str] = None
+    rule: Optional[str] = None
+    rule_index: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity,
+            "name": self.name,
+            "message": self.message,
+            "hint": self.hint,
+        }
+        if self.predicate is not None:
+            record["predicate"] = self.predicate
+        if self.rule is not None:
+            record["rule"] = self.rule
+        if self.rule_index is not None:
+            record["rule_index"] = self.rule_index
+        return record
+
+    def render(self) -> str:
+        location = ""
+        if self.rule_index is not None:
+            location = f" [rule {self.rule_index}]"
+        elif self.predicate is not None:
+            location = f" [{self.predicate}]"
+        return (f"{self.code} {self.name}{location}: {self.message}"
+                f" (hint: {self.hint})")
+
+
+def diagnostic(code: str, message: str, *, predicate: Optional[str] = None,
+               rule: Optional[str] = None,
+               rule_index: Optional[int] = None) -> Diagnostic:
+    """Build a :class:`Diagnostic`, filling severity/name/hint from
+    :data:`CODES` (unknown codes are rejected)."""
+    if code not in CODES:
+        raise KeyError(f"unknown diagnostic code {code!r}")
+    name, severity, hint = CODES[code]
+    return Diagnostic(code=code, severity=severity, name=name,
+                      message=message, hint=hint, predicate=predicate,
+                      rule=rule, rule_index=rule_index)
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The full result of analyzing one program (plus optional goal).
+
+    ``diagnostics`` is ordered: errors first, then warnings, then
+    hints, each in discovery order.  ``classes`` lists the syntactic
+    classes the program (or its goal slice) certifiably belongs to;
+    ``certificates`` carries the machine-readable evidence fast paths
+    consult (see :mod:`repro.analysis.checks`).
+    """
+
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    classes: Tuple[str, ...] = ()
+    certificates: Dict[str, object] = field(default_factory=dict)
+    goal: Optional[str] = None
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "error")
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "warning")
+
+    @property
+    def hints(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "hint")
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostics were found."""
+        return not self.errors
+
+    def codes(self) -> Tuple[str, ...]:
+        return tuple(d.code for d in self.diagnostics)
+
+    def boundedness_certificate(self) -> Optional[Dict[str, object]]:
+        cert = self.certificates.get("bounded")
+        return cert if isinstance(cert, dict) else None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "goal": self.goal,
+            "classes": list(self.classes),
+            "certificates": self.certificates,
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    def render(self) -> str:
+        lines = []
+        for diag in self.diagnostics:
+            lines.append(diag.render())
+        counts = (f"{len(self.errors)} error(s), "
+                  f"{len(self.warnings)} warning(s), "
+                  f"{len(self.hints)} hint(s)")
+        if self.classes:
+            counts += "; classes: " + ", ".join(self.classes)
+        lines.append(counts)
+        return "\n".join(lines)

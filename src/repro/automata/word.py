@@ -426,6 +426,7 @@ def _find_counterexample_word_reference(left: NFA, right: NFA) -> Optional[List[
         frontier.append((p, start_v, []))
 
     while frontier:
+        check_deadline()
         p, v, word = frontier.pop(0)
         for symbol in left.alphabet:
             next_v = right.step(v, symbol)
@@ -470,6 +471,7 @@ def enumerate_words(automaton: NFA, max_length: int,
         ((), frozenset(automaton.initial))
     ]
     while frontier:
+        check_deadline()
         word, subset = frontier.pop(0)
         if subset & automaton.accepting:
             found.append(word)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..automata.tree import TreeAutomaton
+from ..budget import check_deadline
 from ..cq.query import ConjunctiveQuery, UnionOfConjunctiveQueries
 from ..datalog.database import Database
 from ..datalog.engine import Engine, evaluate
@@ -66,6 +67,7 @@ def materialize_cq_automaton(program: Program, goal: str,
     processed: Set[CQState] = set()
     alphabet: Set[Label] = set()
     while frontier:
+        check_deadline()
         state = frontier.pop()
         if state in processed:
             continue

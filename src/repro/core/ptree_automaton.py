@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..automata.tree import LabeledTree, TreeAutomaton
+from ..budget import check_deadline
 from ..context import current_scope
 from ..datalog.atoms import Atom
 from ..datalog.program import Program
@@ -87,6 +88,7 @@ class PTreeAutomaton:
                 seen.add(atom)
                 frontier.append(atom)
         while frontier:
+            check_deadline()
             atom = frontier.pop()
             for label in self.enumerator.labels_for(atom):
                 for child in label.idb_atoms:

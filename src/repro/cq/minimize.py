@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from ..budget import check_deadline
 from .containment import cq_contained_in
 from .query import ConjunctiveQuery
 
@@ -31,6 +32,7 @@ def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
     current = query
     changed = True
     while changed:
+        check_deadline()
         changed = False
         for index in range(len(current.body)):
             candidate = _without(current, index)

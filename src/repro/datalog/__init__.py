@@ -34,6 +34,7 @@ from .errors import (
     NotNonrecursiveError,
     ParseError,
     ReproError,
+    UnsafeProgramError,
     ValidationError,
 )
 from .parser import parse_atom, parse_program, parse_rule
@@ -81,6 +82,7 @@ __all__ = [
     "ReproError",
     "Rule",
     "Term",
+    "UnsafeProgramError",
     "ValidationError",
     "Variable",
     "clear_default_plan_cache",

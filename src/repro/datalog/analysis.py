@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
+from ..budget import check_deadline
 from .errors import NotNonrecursiveError
 from .program import Program
 from .rules import Rule
@@ -25,7 +26,11 @@ def dependence_graph(program: Program) -> Dict[str, FrozenSet[str]]:
     """
     depends: Dict[str, Set[str]] = {p: set() for p in program.predicates}
     for rule in program.rules:
-        depends[rule.head.predicate].update(rule.body_predicates())
+        # setdefault keeps this total even for predicates missing from
+        # ``program.predicates`` (defensive: the graph must never
+        # KeyError on body-only or head-only predicates).
+        depends.setdefault(rule.head.predicate, set()).update(
+            rule.body_predicates())
     return {p: frozenset(qs) for p, qs in depends.items()}
 
 
@@ -121,10 +126,16 @@ def recursive_body_atoms(program: Program, rule: Rule) -> Tuple[int, ...]:
             component_of[predicate] = component
     recursive = recursive_predicates(program)
     head = rule.head.predicate
+    head_component = component_of.get(head)
+    if head_component is None or head not in recursive:
+        # Foreign or nonrecursive head: no body atom can be a
+        # recursive subgoal.  (Guarding here also avoids the
+        # ``None is None`` trap when *both* predicates are absent
+        # from the component map.)
+        return ()
     indices = []
     for i, atom in enumerate(rule.body):
-        same_component = component_of.get(atom.predicate) is component_of.get(head)
-        if same_component and atom.predicate in recursive and head in recursive:
+        if atom.predicate in head_component and atom.predicate in recursive:
             indices.append(i)
     return tuple(indices)
 
@@ -144,11 +155,12 @@ def topological_order(program: Program) -> List[str]:
     """
     if is_recursive(program):
         raise NotNonrecursiveError("program is recursive; no topological order exists")
+    idb = program.idb_predicates
     order: List[str] = []
     for component in strongly_connected_components(program):
-        (predicate,) = component
-        if predicate in program.idb_predicates:
-            order.append(predicate)
+        # Acyclic graph: every component is a singleton, but iterate
+        # rather than unpack so EDB-only components can never trip us.
+        order.extend(p for p in sorted(component) if p in idb)
     return order
 
 
@@ -158,6 +170,7 @@ def reachable_predicates(program: Program, goal: str) -> FrozenSet[str]:
     seen: Set[str] = {goal}
     frontier = [goal]
     while frontier:
+        check_deadline()
         node = frontier.pop()
         for succ in graph.get(node, ()):
             if succ not in seen:

@@ -39,7 +39,7 @@ from ..context import current_session as _current_session
 from .atoms import Atom
 from .columns import columnar_naive, columnar_seminaive
 from .database import Database
-from .errors import ValidationError
+from .errors import UnsafeProgramError, ValidationError
 from .plan import PlanCache, compiled_naive, compiled_seminaive
 from .program import Program
 from .rules import Rule
@@ -298,6 +298,21 @@ _BACKENDS = ("columnar", "rows")
 _JOINS = ("fused", "basic")
 
 
+def _validate_program(program: Program) -> None:
+    """The ``EngineConfig(validate=True)`` gate: raise
+    :class:`UnsafeProgramError` when the static analyzer finds
+    error-severity diagnostics."""
+    # Local import: repro.analysis sits above the datalog substrate.
+    from ..analysis.checks import safety_errors
+
+    errors = safety_errors(program)
+    if errors:
+        raise UnsafeProgramError(
+            f"program rejected by validate gate: "
+            f"{len(errors)} error diagnostic(s), first: {errors[0].render()}",
+            diagnostics=[d.as_dict() for d in errors])
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Knobs of the evaluation engine.
@@ -330,6 +345,14 @@ class EngineConfig:
         columnar backend is inherently interned and indexed, and the
         interpretive path keeps its own lazy indexes -- both ignore
         these.
+    ``validate``
+        Refuse programs with error-severity static diagnostics:
+        :meth:`Engine.evaluate` raises
+        :class:`~repro.datalog.errors.UnsafeProgramError` (carrying
+        the analyzer's diagnostics) instead of evaluating unsafe rules
+        under active-domain semantics.  Off by default -- the engines
+        define active-domain behaviour for unsafe rules and the fuzz
+        differential relies on it.
     """
 
     strategy: str = "auto"
@@ -338,6 +361,7 @@ class EngineConfig:
     joins: str = "fused"
     interning: bool = True
     indexing: bool = True
+    validate: bool = False
 
     def __post_init__(self):
         if self.strategy not in _STRATEGIES:
@@ -370,6 +394,8 @@ class Engine:
                  max_stages: Optional[int] = None) -> EvaluationResult:
         """Evaluate *program* on *database* under this configuration."""
         cfg = self.config
+        if cfg.validate:
+            _validate_program(program)
         use_naive = cfg.strategy == "naive" or (
             cfg.strategy == "auto" and max_stages is not None)
         if not cfg.compiled:

@@ -41,6 +41,20 @@ class NotLinearError(ValidationError):
     supplied."""
 
 
+class UnsafeProgramError(ValidationError):
+    """Raised by the ``EngineConfig(validate=True)`` gate when a program
+    carries error-severity diagnostics (unsafe rules).
+
+    ``diagnostics`` holds the analyzer findings as plain dicts (see
+    :mod:`repro.analysis.diagnostics`) so callers — ``Session``, the
+    service protocol — can forward them as typed error payloads.
+    """
+
+    def __init__(self, message, diagnostics=()):
+        self.diagnostics = [dict(d) for d in diagnostics]
+        super().__init__(message)
+
+
 class EvaluationError(ReproError):
     """Raised when bottom-up evaluation cannot proceed (e.g. an unsafe
     rule over an empty active domain)."""

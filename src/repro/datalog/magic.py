@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from ..budget import check_deadline
 from .atoms import Atom
 from .database import Database
 from .engine import Engine, evaluate
@@ -95,6 +96,7 @@ def magic_rewrite(program: Program, goal: str, adornment: Adornment,
     pending: List[Tuple[str, Adornment]] = [(goal, adornment)]
 
     while pending:
+        check_deadline()
         predicate, adorn = pending.pop()
         if (predicate, adorn) in done:
             continue

@@ -28,6 +28,7 @@ from .harness import (
     KIND_ROTATION,
     Divergence,
     FuzzCase,
+    analysis_divergences,
     baseline_verdict,
     decision_verdict,
     draw_case,
@@ -47,15 +48,16 @@ from .shrinker import ddmin, shrink_case, shrink_divergence, still_diverges
 from .sweep import FuzzReport, planted_fault, run_fuzz
 
 __all__ = [
+    "Divergence",
     "EVAL_BASELINE",
     "EVAL_MATRIX",
     "EVAL_MATRIX_QUICK",
+    "FuzzCase",
+    "FuzzReport",
     "KERNEL_BASELINE",
     "KERNEL_MATRIX",
     "KIND_ROTATION",
-    "Divergence",
-    "FuzzCase",
-    "FuzzReport",
+    "analysis_divergences",
     "baseline_verdict",
     "case_from_dict",
     "case_to_dict",

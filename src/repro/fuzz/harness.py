@@ -15,7 +15,14 @@ configuration matrix and reports every :class:`Divergence`:
 * **decision** cases (containment / boundedness / equivalence) run
   both automaton kernels and compare verdicts against the frozenset
   reference kernel *and* against the ground truth the generator
-  attached by construction.
+  attached by construction;
+* every case additionally runs the **analyzer soundness
+  differential** (:func:`analysis_divergences`): the static analyzer
+  (:mod:`repro.analysis`) is cross-checked against the real
+  procedures -- E001-clean iff the ``validate`` gate accepts, drawn
+  hazards (unsafe heads, undefined goals) flagged and rejected with
+  typed errors, and every H001 boundedness certificate confirmed by
+  the search-based decision procedure.
 
 Everything is deterministic in ``(seed, index)``: the same draw on any
 machine yields byte-identical programs, databases, and expected
@@ -35,10 +42,14 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..automata.kernel import KernelConfig
 from ..cq.query import UnionOfConjunctiveQueries
+from ..datalog.atoms import Atom
 from ..datalog.database import Database
 from ..datalog.engine import Engine, EngineConfig
+from ..datalog.errors import UnsafeProgramError, ValidationError
 from ..datalog.parser import parse_program
 from ..datalog.program import Program
+from ..datalog.rules import Rule
+from ..datalog.terms import Variable
 from ..datalog.unfold import expansion_union
 from ..session import rows_checksum
 from ..workloads import generators as gen
@@ -120,9 +131,10 @@ class FuzzCase:
 @dataclass
 class Divergence:
     """One observed mismatch: a matrix cell whose verdict differs from
-    the baseline cell (``against="baseline"``) or a baseline verdict
+    the baseline cell (``against="baseline"``), a baseline verdict
     contradicting the constructed ground truth
-    (``against="expected"``)."""
+    (``against="expected"``), or a static-analyzer claim contradicted
+    by the real procedures (``against="analyzer"``)."""
 
     case: FuzzCase
     label: str
@@ -169,6 +181,40 @@ def _draw_edges(rng: random.Random, sub: int) -> List[Tuple[str, str]]:
                                   seed=sub)
 
 
+#: XOR salt separating the hazard draw stream from the main case
+#: stream: hazards consume their own :class:`random.Random`, so adding
+#: (or re-weighting) hazards never perturbs the byte-identical
+#: program/EDB draws that existing regression seeds pin.
+_HAZARD_SALT = 0x5AFE_C0DE
+
+
+def _draw_hazard(sub: int, program: Program, meta: Dict) -> Program:
+    """Occasionally plant a deliberate static-analysis hazard in an
+    evaluation draw: an unsafe rule (unbound head variable -> E001) or
+    a probe for a goal predicate the program never defines (-> E002).
+    The analyzer must flag these and the engines must reject them with
+    a *typed* error -- :func:`analysis_divergences` asserts both."""
+    hazard_rng = random.Random(sub ^ _HAZARD_SALT)
+    roll = hazard_rng.random()
+    if roll < 0.12:
+        anchors = sorted(program.edb_predicates)
+        if not anchors:
+            return program
+        anchor = anchors[hazard_rng.randrange(len(anchors))]
+        bound = Variable("HzBound")
+        body = Atom(anchor, (bound,) * program.arity[anchor])
+        head = Atom("hazard_unsafe", (bound, Variable("HzFree")))
+        meta["hazard"] = "unsafe-head"
+        return program.extend([Rule(head, (body,))])
+    if roll < 0.24:
+        goal = "hazard_missing"
+        while goal in program.predicates:
+            goal += "_x"
+        meta["hazard"] = "undefined-goal"
+        meta["hazard_goal"] = goal
+    return program
+
+
 def _truncation_rewriting(program: Program) -> Program:
     """The depth-2 truncation of an :func:`unbounded_program` instance
     (its recursive call replaced by the base relation): backward
@@ -207,10 +253,11 @@ def draw_case(seed: int, index: int) -> FuzzCase:
         edges = _draw_edges(rng, sub)
         predicates = tuple(sorted(program.edb_predicates)) or ("edge",)
         database = gen.edges_database(edges, predicates)
+        meta = {"edges": len(edges), "predicates": list(predicates)}
+        program = _draw_hazard(sub, program, meta)
         return FuzzCase(name=name, kind=kind, seed=seed, index=index,
                         program=program, goal="p", database=database,
-                        meta={"edges": len(edges),
-                              "predicates": list(predicates)})
+                        meta=meta)
 
     if kind == "containment":
         shape = rng.randrange(3)
@@ -297,6 +344,83 @@ def decision_verdict(case: FuzzCase, kernel: KernelConfig) -> Dict:
     return verdict
 
 
+def analysis_divergences(case: FuzzCase) -> List[Divergence]:
+    """The analyzer soundness differential for *case*
+    (``against="analyzer"`` divergences).
+
+    Three cross-checks tie :mod:`repro.analysis` to the real decision
+    procedures:
+
+    * **validate-gate biconditional** (evaluation cases): the analyzer
+      reports E001 *iff* an engine with ``EngineConfig(validate=True)``
+      rejects the program with :class:`UnsafeProgramError`; every
+      E001-clean program must evaluate without an engine-level
+      validation error.
+    * **hazard assertions**: a deliberately drawn hazard
+      (:func:`_draw_hazard`) must be flagged -- E001 for an unbound
+      head variable, E002 for an undefined goal -- and the engine-side
+      rejection must be a *typed* :class:`ValidationError`, never an
+      untyped crash.
+    * **certificate soundness**: when the analyzer issues an H001
+      syntactic-boundedness certificate, the search-based boundedness
+      procedure must confirm ``bounded`` at the certified depth bound.
+    """
+    from ..analysis import analyze_program
+
+    report = analyze_program(case.program, case.goal, plans=False)
+    codes = sorted(set(report.codes()))
+    unsafe = any(diag.code == "E001" for diag in report.errors)
+    divergences: List[Divergence] = []
+
+    if case.database is not None:
+        rejected = False
+        try:
+            Engine(EngineConfig(validate=True)).evaluate(case.program,
+                                                         case.database)
+        except UnsafeProgramError:
+            rejected = True
+        if rejected != unsafe:
+            divergences.append(Divergence(
+                case=case, label="validate-gate", against="analyzer",
+                verdict={"rejected": rejected},
+                reference={"unsafe": unsafe, "codes": codes}))
+
+    hazard = case.meta.get("hazard")
+    if hazard == "unsafe-head" and not unsafe:
+        divergences.append(Divergence(
+            case=case, label="hazard-unsafe-head", against="analyzer",
+            verdict={"codes": codes}, reference={"expected": "E001"}))
+    elif hazard == "undefined-goal":
+        hazard_goal = case.meta["hazard_goal"]
+        hazard_report = analyze_program(case.program, hazard_goal,
+                                        plans=False)
+        flagged = "E002" in hazard_report.codes()
+        try:
+            case.program.require_goal(hazard_goal)
+            typed_rejection = False
+        except ValidationError:
+            typed_rejection = True
+        if not (flagged and typed_rejection):
+            divergences.append(Divergence(
+                case=case, label="hazard-undefined-goal",
+                against="analyzer",
+                verdict={"flagged": flagged,
+                         "typed_rejection": typed_rejection},
+                reference={"expected": "E002 + ValidationError"}))
+
+    certificate = report.boundedness_certificate()
+    if certificate is not None:
+        payload = {"program": case.program, "goal": case.goal,
+                   "max_depth": certificate["depth_bound"]}
+        verdict, _stats = kind_runner("boundedness")(
+            payload, _PROBE_ENGINE, KERNEL_MATRIX[KERNEL_BASELINE])
+        if verdict.get("bounded") is not True:
+            divergences.append(Divergence(
+                case=case, label="bounded-certificate", against="analyzer",
+                verdict=dict(verdict), reference=dict(certificate)))
+    return divergences
+
+
 Mutator = Callable[[FuzzCase, str, Dict], Dict]
 
 
@@ -306,9 +430,10 @@ def run_case(case: FuzzCase, *, matrix: str = "full",
     """Run *case* through its configuration matrix.
 
     Returns ``(verdicts, divergences)``: the per-cell verdicts and
-    every mismatch -- cells against the baseline cell, and the
-    baseline against the case's constructed ground truth when the
-    generator attached one.
+    every mismatch -- cells against the baseline cell, the baseline
+    against the case's constructed ground truth when the generator
+    attached one, and the analyzer soundness differential
+    (:func:`analysis_divergences`).
     """
     verdicts: Dict[str, Dict] = {}
     if case.kind == "evaluation":
@@ -336,6 +461,7 @@ def run_case(case: FuzzCase, *, matrix: str = "full",
                                       against="expected",
                                       verdict=baseline,
                                       reference=dict(case.expected)))
+    divergences.extend(analysis_divergences(case))
     return verdicts, divergences
 
 

@@ -248,7 +248,10 @@ def run_supervised(
         pool_broken = False
         pending = set(futures)
         last_progress = time.monotonic()
-        while pending:
+        # This wait loop IS the deadline machinery: it watches the
+        # heartbeat channel and enforces stall_timeout_s itself, so
+        # check_deadline() would be redundant here.
+        while pending:  # lint: allow(L001)
             done, not_done = wait(pending, timeout=tick,
                                   return_when=FIRST_COMPLETED)
             if done:

@@ -78,8 +78,8 @@ __all__ = [
     "ServiceFailure",
     "ServiceServer",
     "coalesce_key",
-    "decode_request",
     "decision_response",
+    "decode_request",
     "encode_response",
     "error_response",
     "fingerprint_for",

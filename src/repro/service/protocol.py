@@ -74,8 +74,8 @@ __all__ = [
     "Request",
     "canonical_payload",
     "coalesce_key",
-    "decode_request",
     "decision_response",
+    "decode_request",
     "encode_response",
     "error_response",
     "fingerprint_for",
@@ -104,8 +104,19 @@ RESPONSE_CATEGORIES: Tuple[str, ...] = ERROR_CATEGORIES + (BAD_REQUEST,
 
 class ProtocolError(ValueError):
     """A malformed request (bad JSON, unknown op, missing or ill-typed
-    fields).  Always answered with a ``bad-request`` error response,
-    never with a dropped connection."""
+    fields, or a program rejected by the static analyzer).  Always
+    answered with a ``bad-request`` error response, never with a
+    dropped connection.
+
+    ``diagnostics`` carries the analyzer's findings (plain dicts, see
+    :mod:`repro.analysis.diagnostics`) when the rejection came from
+    program validation; empty for purely structural rejections.  The
+    error response forwards them so clients learn *why* a program was
+    refused, not just that it was."""
+
+    def __init__(self, message, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = [dict(d) for d in diagnostics]
 
 
 @dataclass(frozen=True)
@@ -195,22 +206,49 @@ def _config_fields(fields: Mapping, what: str, *,
     return payload
 
 
+def _validated_program(source: str, what: str,
+                       goal: Optional[str] = None) -> str:
+    """Statically validate a program source field at decode time.
+
+    Unsafe or unparsable programs fail fast here -- a typed
+    ``bad-request`` carrying the analyzer's diagnostics -- instead of
+    burning worker dispatches (and retries) on a program the decision
+    procedures would reject anyway.  Databases are *not* validated
+    here: they can be arbitrarily large and are parsed worker-side.
+    """
+    from ..analysis import analyze_source
+
+    report = analyze_source(source, goal, plans=False)
+    if report.ok:
+        return source
+    first = report.errors[0]
+    raise ProtocolError(
+        f"{what} rejected by static analysis: {first.code} {first.name}: "
+        f"{first.message}",
+        diagnostics=[d.as_dict() for d in report.errors])
+
+
 def _decode_decide(fields: Mapping) -> Dict[str, Any]:
     kind = _choice(_require(fields, "kind", str, "decide"), DECIDE_KINDS,
                    "decide kind")
+    goal = _require(fields, "goal", str, "decide")
     payload: Dict[str, Any] = {
         "kind": kind,
-        "program": _require(fields, "program", str, "decide"),
-        "goal": _require(fields, "goal", str, "decide"),
+        "program": _validated_program(
+            _require(fields, "program", str, "decide"),
+            "decide 'program'", goal),
+        "goal": goal,
         "method": _choice(_optional(fields, "method", str, "decide", "auto"),
                           METHODS, "method"),
     }
     if kind == "equivalence":
-        payload["nonrecursive"] = _require(fields, "nonrecursive", str,
-                                           "decide equivalence")
-        goal = _optional(fields, "nonrecursive_goal", str, "decide")
-        if goal is not None:
-            payload["nonrecursive_goal"] = goal
+        nonrecursive_goal = _optional(fields, "nonrecursive_goal", str,
+                                      "decide")
+        payload["nonrecursive"] = _validated_program(
+            _require(fields, "nonrecursive", str, "decide equivalence"),
+            "decide 'nonrecursive'", nonrecursive_goal or goal)
+        if nonrecursive_goal is not None:
+            payload["nonrecursive_goal"] = nonrecursive_goal
     elif kind == "containment":
         union = _optional(fields, "union", str, "decide")
         depth = _optional(fields, "union_depth", int, "decide")
@@ -218,8 +256,9 @@ def _decode_decide(fields: Mapping) -> Dict[str, Any]:
             raise ProtocolError("decide containment requires exactly one "
                                 "of 'union' / 'union_depth'")
         if union is not None:
-            payload["union"] = union
             union_goal = _optional(fields, "union_goal", str, "decide")
+            payload["union"] = _validated_program(
+                union, "decide 'union'", union_goal or goal)
             if union_goal is not None:
                 payload["union_goal"] = union_goal
         else:
@@ -238,10 +277,13 @@ def _decode_decide(fields: Mapping) -> Dict[str, Any]:
 
 
 def _decode_eval(fields: Mapping) -> Dict[str, Any]:
+    goal = _require(fields, "goal", str, "eval")
     payload: Dict[str, Any] = {
-        "program": _require(fields, "program", str, "eval"),
+        "program": _validated_program(
+            _require(fields, "program", str, "eval"), "eval 'program'",
+            goal),
         "db": _require(fields, "db", str, "eval"),
-        "goal": _require(fields, "goal", str, "eval"),
+        "goal": goal,
     }
     stages = _optional(fields, "max_stages", int, "eval")
     if stages is not None:
@@ -400,21 +442,26 @@ def decision_response(request_id, record: Mapping, *, coalesced: bool,
 
 
 def error_response(request_id, category: str, message: str,
-                   attempts: int = 1) -> Dict[str, Any]:
+                   attempts: int = 1,
+                   diagnostics=None) -> Dict[str, Any]:
     """A typed failure: ``category`` is the resilience taxonomy
     (``timeout``/``memory``/``crash``/``corrupt``/``error``) or
     ``bad-request``.  A quarantine -- a request abandoned after
     exhausting its retries -- is this response with ``attempts`` set
-    to the tries spent."""
+    to the tries spent.  ``diagnostics`` (when non-empty) carries the
+    static analyzer's findings for program-validation rejections."""
     if category not in RESPONSE_CATEGORIES:
         raise ValueError(f"unknown error category {category!r}")
-    return {
+    response = {
         "id": request_id,
         "type": "error",
         "error": category,
         "message": str(message),
         "attempts": int(attempts),
     }
+    if diagnostics:
+        response["diagnostics"] = [dict(d) for d in diagnostics]
+    return response
 
 
 def overload_response(request_id, *, queue_depth: int, capacity: int,

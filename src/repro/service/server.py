@@ -58,8 +58,12 @@ from .protocol import (
     status_response,
 )
 
-__all__ = ["ServiceConfig", "ServiceServer", "ServiceHandle",
-           "start_in_thread"]
+__all__ = [
+    "ServiceConfig",
+    "ServiceHandle",
+    "ServiceServer",
+    "start_in_thread",
+]
 
 
 @dataclass(frozen=True)
@@ -219,7 +223,8 @@ class ServiceServer:
                     request = decode_request(line)
                 except ProtocolError as exc:
                     await self._write(writer, write_lock, error_response(
-                        _best_effort_id(line), "bad-request", str(exc)))
+                        _best_effort_id(line), "bad-request", str(exc),
+                        diagnostics=exc.diagnostics))
                     continue
                 if request.op == "status":
                     await self._write(writer, write_lock, status_response(

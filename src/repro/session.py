@@ -59,9 +59,9 @@ from .datalog.engine import (
     EngineConfig,
     process_default_engine,
 )
-from .datalog.errors import ValidationError
+from .datalog.errors import UnsafeProgramError, ValidationError
 from .datalog.program import Program
-from .datalog.unfold import unfold_nonrecursive
+from .datalog.unfold import expansion_union, unfold_nonrecursive
 
 __all__ = [
     "CachePolicy",
@@ -133,6 +133,13 @@ def config_fingerprint(engine: "EngineConfig", kernel: KernelConfig,
         for section, values in config.items()
     ))
     return hashlib.sha1(blob.encode()).hexdigest()[:16]
+
+
+def _analysis():
+    """The static-analysis package, imported on first use (it sits
+    above the datalog substrate this module is built from)."""
+    from . import analysis
+    return analysis
 
 
 #: Per-kind verdict key that drives ``bool(decision)``.
@@ -477,6 +484,7 @@ class Session:
     def contains(self, program: Program, goal: str,
                  union: UnionOfConjunctiveQueries, *,
                  method: str = "auto", use_antichain: bool = True,
+                 use_certificates: bool = False,
                  kernel: Optional[KernelConfig] = None,
                  deadline: Optional[float] = None) -> Decision:
         """Decide ``Q_Pi subseteq union`` (Theorem 5.12).
@@ -486,7 +494,18 @@ class Session:
         session kernel for this call; ``deadline`` bounds the call's
         wall clock (every decision method takes one).  On
         non-containment the ``certificate`` is the witness proof tree.
+
+        ``use_certificates=True`` consults the static analyzer first:
+        a chain-rule class certificate (H005) pins the word-automaton
+        method explicitly and is recorded in ``meta["analysis"]``.
         """
+        analysis_meta = None
+        if use_certificates and method == "auto":
+            report = _analysis().analyze_program(program, goal, plans=False)
+            analysis_meta = {"classes": list(report.classes)}
+            if "chain" in report.classes:
+                method = "word"
+                analysis_meta["method"] = "word"
         kernel = kernel or self.kernel
         start = perf_counter()
         with self._deadline(deadline), self.activated():
@@ -494,12 +513,15 @@ class Session:
                 program, goal, union, method=method,
                 use_antichain=use_antichain, kernel=kernel,
             )
-        return self._decision(
+        decision = self._decision(
             "containment", {"contained": result.contained},
             stats=result.stats,
             timings={"decide_s": perf_counter() - start},
             certificate=result.witness, raw=result,
         )
+        if analysis_meta is not None:
+            decision.meta["analysis"] = analysis_meta
+        return decision
 
     def contains_cq(self, program: Program, goal: str,
                     theta: ConjunctiveQuery, *, method: str = "auto",
@@ -633,14 +655,42 @@ class Session:
         )
 
     def bounded(self, program: Program, goal: str, max_depth: int = 4, *,
-                method: str = "auto", engine: Optional[Engine] = None,
+                method: str = "auto", use_certificates: bool = False,
+                engine: Optional[Engine] = None,
                 kernel: Optional[KernelConfig] = None,
                 deadline: Optional[float] = None) -> Decision:
         """Search for a boundedness certificate up to ``max_depth``
         (semi-decision; ``bounded`` is True or None=unknown).  The
         ``certificate`` is the equivalent union of conjunctive queries
         when one is found; ``stats``/``timings`` report the per-depth
-        probe work."""
+        probe work.
+
+        ``use_certificates=True`` consults the static analyzer first:
+        an H001 certificate whose depth bound fits ``max_depth`` skips
+        the containment search entirely and answers with the certified
+        depth and its expansion-union witness.  Opt-in because the
+        certified depth is a *bound*, not necessarily the minimal
+        depth the search would report.
+        """
+        if use_certificates:
+            cert = _analysis().boundedness_certificate(program, goal)
+            if cert is not None and cert["depth_bound"] <= max_depth:
+                start = perf_counter()
+                with self._deadline(deadline), self.activated():
+                    union = expansion_union(
+                        program, goal, cert["depth_bound"])
+                result = _boundedness.BoundednessResult(
+                    bounded=True, depth=cert["depth_bound"],
+                    witness_union=union)
+                decision = self._decision(
+                    "boundedness",
+                    {"bounded": True, "depth": cert["depth_bound"]},
+                    stats={"certificate_fast_path": 1},
+                    timings={"expand_s": perf_counter() - start},
+                    certificate=union, raw=result,
+                )
+                decision.meta["analysis"] = cert
+                return decision
         timings: Dict[str, float] = {}
         stats: Dict[str, int] = {}
         with self._deadline(deadline), self.activated():
@@ -660,6 +710,24 @@ class Session:
         )
 
     # ------------------------------------------------------------------
+    # Static analysis.
+    # ------------------------------------------------------------------
+
+    def analyze(self, program, goal: Optional[str] = None, *,
+                plans: bool = True):
+        """Statically analyze *program* (a :class:`Program` or source
+        text) and return an
+        :class:`~repro.analysis.diagnostics.AnalysisReport` -- typed
+        diagnostics, class certificates, no evaluation.  Source text
+        with syntax or arity errors yields E004/E003 diagnostics
+        rather than raising."""
+        analysis = _analysis()
+        with self.activated():
+            if isinstance(program, str):
+                return analysis.analyze_source(program, goal, plans=plans)
+            return analysis.analyze_program(program, goal, plans=plans)
+
+    # ------------------------------------------------------------------
     # Evaluation and magic sets.
     # ------------------------------------------------------------------
 
@@ -676,9 +744,21 @@ class Session:
         ``checksum`` over the goal relation.
         """
         start = perf_counter()
-        with self._deadline(deadline), self.activated():
-            result = (engine or self._engine).evaluate(
-                program, database, max_stages=max_stages)
+        try:
+            with self._deadline(deadline), self.activated():
+                result = (engine or self._engine).evaluate(
+                    program, database, max_stages=max_stages)
+        except UnsafeProgramError as exc:
+            # The EngineConfig(validate=True) gate: an unsafe program
+            # becomes a typed error decision carrying the analyzer's
+            # diagnostics instead of an exception.
+            decision = self._decision(
+                "evaluation", {"valid": False}, ok=False,
+                timings={"evaluate_s": perf_counter() - start},
+                meta={"diagnostics": exc.diagnostics},
+            )
+            decision.error = "invalid-program"
+            return decision
         timings = {"evaluate_s": perf_counter() - start}
         verdict: Dict[str, Any] = {
             "stages": result.stages,
@@ -704,6 +784,8 @@ class Session:
         decision = self.evaluate(program, database, max_stages=max_stages,
                                  goal=goal, engine=engine,
                                  deadline=deadline)
+        if decision.error is not None:
+            return decision
         decision.raw = decision.certificate.facts(goal)
         return decision
 

@@ -134,3 +134,73 @@ class TestSlicing:
     def test_max_idb_body_atoms(self):
         assert max_idb_body_atoms(transitive_closure()) == 1
         assert max_idb_body_atoms(dist(2)) == 2
+
+
+class TestBodyOnlyPredicateHardening:
+    """Every helper must handle predicates that appear only in rule
+    bodies (EDB) or only in heads -- the seams PR 10 hardened."""
+
+    PROGRAM = parse_program(
+        """
+        goal(X) :- mid(X), extra(X, X).
+        mid(X) :- base(X).
+        island(X) :- sea(X).
+        """
+    )
+
+    def test_dependence_graph_covers_body_only_nodes(self):
+        graph = dependence_graph(self.PROGRAM)
+        # Head predicates map to their body predicates; body-only
+        # predicates are reachable as values (never KeyError).
+        assert graph["goal"] == {"mid", "extra"}
+        assert graph["mid"] == {"base"}
+        for body_only in ("base", "extra", "sea"):
+            assert graph.get(body_only, frozenset()) == frozenset()
+
+    def test_sccs_include_edb_only_components(self):
+        components = strongly_connected_components(self.PROGRAM)
+        flattened = set().union(*components)
+        assert {"goal", "mid", "base", "extra", "island", "sea"} \
+            <= flattened
+
+    def test_topological_order_skips_edb_components(self):
+        order = topological_order(self.PROGRAM)
+        assert set(order) == {"goal", "mid", "island"}
+        assert order.index("mid") < order.index("goal")
+
+    def test_recursive_body_atoms_on_nonrecursive_head(self):
+        # The head is not part of any recursive component: no indices.
+        rule = self.PROGRAM.rules[0]
+        assert recursive_body_atoms(self.PROGRAM, rule) == ()
+
+    def test_recursive_body_atoms_foreign_rule(self):
+        # A rule whose head the program has never seen must yield ()
+        # rather than raising (the former None-component latent bug).
+        foreign = parse_program("ghost(X) :- ghost(X).").rules[0]
+        assert recursive_body_atoms(self.PROGRAM, foreign) == ()
+
+    def test_recursive_predicates_ignore_body_only(self):
+        assert recursive_predicates(self.PROGRAM) == frozenset()
+        assert not is_recursive(self.PROGRAM)
+        assert is_nonrecursive(self.PROGRAM)
+
+    def test_reachable_predicates_includes_edb_frontier(self):
+        assert reachable_predicates(self.PROGRAM, "goal") \
+            == {"goal", "mid", "base", "extra"}
+
+    def test_slice_for_goal_drops_unreachable_island(self):
+        sliced = slice_for_goal(self.PROGRAM, "goal")
+        assert sliced.idb_predicates == {"goal", "mid"}
+        assert "island" not in sliced.predicates
+
+    def test_slice_for_edb_goal_raises_typed_error(self):
+        # Slicing on a body-only predicate is a typed ValidationError
+        # (the analyzer reports E002 before ever slicing).
+        from repro.datalog.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            slice_for_goal(self.PROGRAM, "base")
+
+    def test_is_linear_and_max_idb_body_atoms(self):
+        assert is_linear(self.PROGRAM)
+        assert max_idb_body_atoms(self.PROGRAM) == 1

@@ -25,6 +25,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 DOC_FILES = [
     "README.md",
+    "docs/ANALYSIS.md",
     "docs/ARCHITECTURE.md",
     "docs/BENCHMARKS.md",
     "docs/FUZZING.md",

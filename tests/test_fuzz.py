@@ -16,6 +16,7 @@ from repro.fuzz import (
     EVAL_MATRIX,
     EVAL_MATRIX_QUICK,
     KIND_ROTATION,
+    analysis_divergences,
     ddmin,
     default_regressions_dir,
     draw_case,
@@ -37,6 +38,7 @@ def test_draws_are_deterministic():
         assert first.program == second.program
         assert first.kind == second.kind == KIND_ROTATION[index % 6]
         assert first.expected == second.expected
+        assert first.meta == second.meta
         if first.database is not None:
             assert first.database == second.database
 
@@ -50,6 +52,85 @@ def test_draws_vary_with_seed_and_index():
 def test_matrix_shapes():
     assert set(EVAL_MATRIX_QUICK) < set(EVAL_MATRIX)
     assert "interpretive-naive" in EVAL_MATRIX_QUICK  # oracle always runs
+
+
+# ----------------------------------------------------------------------
+# Hazard draws and the analyzer soundness differential.
+# ----------------------------------------------------------------------
+
+def _hazard_cases(kind, count=6, limit=600):
+    cases = []
+    for index in range(limit):
+        case = draw_case(0, index)
+        if case.meta.get("hazard") == kind:
+            cases.append(case)
+            if len(cases) == count:
+                break
+    assert cases, f"no {kind!r} hazard drawn in {limit} draws"
+    return cases
+
+
+def test_unsafe_head_hazards_flagged_and_rejected():
+    from repro.analysis import safety_errors
+    from repro.datalog import Engine, EngineConfig, UnsafeProgramError
+
+    for case in _hazard_cases("unsafe-head"):
+        errors = safety_errors(case.program)
+        assert any(d.code == "E001" for d in errors)
+        with pytest.raises(UnsafeProgramError):
+            Engine(EngineConfig(validate=True)).evaluate(case.program,
+                                                         case.database)
+        # The engines still evaluate it under active-domain semantics
+        # without the gate, and the full differential stays green.
+        _verdicts, divergences = run_case(case, matrix="quick")
+        assert not divergences, [d.describe() for d in divergences]
+
+
+def test_undefined_goal_hazards_flagged_and_typed():
+    from repro.analysis import analyze_program
+    from repro.datalog import ValidationError
+
+    for case in _hazard_cases("undefined-goal"):
+        goal = case.meta["hazard_goal"]
+        assert goal not in case.program.predicates
+        report = analyze_program(case.program, goal, plans=False)
+        assert "E002" in report.codes()
+        with pytest.raises(ValidationError):
+            case.program.require_goal(goal)
+        assert not analysis_divergences(case)
+
+
+def test_certificate_differential_is_exercised():
+    # The H001 check must not be vacuous: certified draws exist, and
+    # the search procedure confirms every one of them.
+    from repro.analysis import analyze_program
+
+    certified = 0
+    for index in range(120):
+        case = draw_case(0, index)
+        report = analyze_program(case.program, case.goal, plans=False)
+        if report.boundedness_certificate() is not None:
+            certified += 1
+            assert not analysis_divergences(case)
+    assert certified > 0
+
+
+def test_analysis_differential_detects_violations():
+    # Plant a false hazard claim: a safe drawn program whose meta says
+    # "unsafe-head" must trip the hazard assertion (the differential
+    # actually checks, rather than vacuously passing).
+    from repro.analysis import safety_errors
+
+    for index in range(60):
+        case = draw_case(1, index)
+        if case.kind == "evaluation" and not case.meta.get("hazard") \
+                and not safety_errors(case.program):
+            case.meta["hazard"] = "unsafe-head"
+            divergences = analysis_divergences(case)
+            assert any(d.label == "hazard-unsafe-head" and
+                       d.against == "analyzer" for d in divergences)
+            return
+    raise AssertionError("no safe evaluation draw found")
 
 
 # ----------------------------------------------------------------------

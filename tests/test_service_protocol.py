@@ -141,6 +141,17 @@ MALFORMED_REQUESTS = [
                                         "db": "likes(a, b).",
                                         "goal": "buys",
                                         "kernel": "bitset"})),
+    # Statically invalid programs are rejected at decode time by the
+    # analyzer (repro.analysis) -- never dispatched to a worker.
+    ("decide_unsafe_program",
+     json.dumps({"op": "decide", "kind": "boundedness",
+                 "program": "p(X, Y) :- e(X).", "goal": "p"})),
+    ("decide_goal_not_idb",
+     json.dumps({"op": "decide", "kind": "boundedness",
+                 "program": BUYS, "goal": "likes"})),
+    ("eval_unparseable_program",
+     json.dumps({"op": "eval", "program": "p(X :- q(X).",
+                 "db": "q(a).", "goal": "p"})),
 ]
 
 #: A fixed payload-stripped decision record (the worker wire shape)
@@ -157,6 +168,20 @@ FIXED_RECORD = {
     "meta": {"op": "scenario", "engine": "columnar", "kernel": "bitset",
              "scenario": "bounded_buys"},
 }
+
+def _analyzer_rejection_response():
+    """The server's answer to an analyzer-rejected program, built from
+    the real decode-time ProtocolError so the golden can never drift
+    from the decode path."""
+    try:
+        decode_request(json.dumps({"op": "decide", "kind": "boundedness",
+                                   "program": "p(X, Y) :- e(X).",
+                                   "goal": "p", "id": "q8"}))
+    except ProtocolError as exc:
+        return error_response("q8", "bad-request", str(exc),
+                              diagnostics=exc.diagnostics)
+    raise AssertionError("unsafe program was not rejected at decode time")
+
 
 #: Every response shape: (name, builder result).  Includes the
 #: quarantine-style error (category + attempts spent) and every typed
@@ -185,6 +210,7 @@ RESPONSES = [
                                         attempts=3)),
     ("overload", overload_response("q5", queue_depth=64, capacity=64,
                                    retry_after_ms=50.0)),
+    ("error_bad_request_diagnostics", _analyzer_rejection_response()),
     ("status", status_response("q6", {"protocol": 1, "served": 12})),
     ("ok", ok_response("q7")),
 ]
@@ -240,6 +266,24 @@ def test_responses_golden():
     encoded = {name: encode_response(response).decode().rstrip("\n")
                for name, response in RESPONSES}
     _golden("responses", encoded)
+
+
+def test_analyzer_rejection_carries_diagnostics():
+    """An analyzer-rejected program raises a ProtocolError carrying
+    structured diagnostics, and the bad-request envelope forwards
+    them."""
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_request(json.dumps({"op": "decide", "kind": "boundedness",
+                                   "program": "p(X, Y) :- e(X).",
+                                   "goal": "p"}))
+    diagnostics = excinfo.value.diagnostics
+    assert diagnostics and diagnostics[0]["code"] == "E001"
+    assert diagnostics[0]["severity"] == "error"
+    response = error_response("r1", "bad-request", str(excinfo.value),
+                              diagnostics=diagnostics)
+    assert response["diagnostics"] == diagnostics
+    # Plain bad requests carry no diagnostics key at all.
+    assert "diagnostics" not in error_response("r2", "bad-request", "nope")
 
 
 def test_oversized_line_rejected():
